@@ -1,0 +1,35 @@
+# Convenience targets for the GANA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-quick:
+	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/fig1_sample_and_hold.py
+	$(PYTHON) examples/switched_cap_filter.py
+	$(PYTHON) examples/phased_array.py
+	$(PYTHON) examples/custom_primitives_and_training.py
+	$(PYTHON) examples/testbench_and_export.py
+
+clean:
+	rm -rf .cache benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

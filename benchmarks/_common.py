@@ -1,0 +1,69 @@
+"""Shared benchmark infrastructure.
+
+* **Scale** — ``REPRO_SCALE=paper`` (default) reproduces the paper's
+  dataset sizes and training budget; ``REPRO_SCALE=quick`` shrinks
+  everything for smoke runs.
+* **Model cache** — trained recognition models are cached under
+  ``.cache/`` keyed by task + scale, so the first benchmark run pays
+  for training once and later runs (and other benchmarks) reuse it.
+* **Results** — every benchmark writes its reproduced table/figure to
+  ``benchmarks/results/<name>.txt`` and prints it, so the numbers
+  survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.annotator import GcnAnnotator
+from repro.core.pipeline import GanaPipeline
+from repro.datasets.synth import pretrain_annotator, task_classes
+from repro.gcn.model import GCNConfig, GCNModel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CACHE_DIR = REPO_ROOT / ".cache"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+SCALE = os.environ.get("REPRO_SCALE", "paper")
+PAPER = SCALE != "quick"
+
+#: Dataset/training sizes per scale.
+OTA_TRAIN = 624 if PAPER else 80
+RF_TRAIN = 608 if PAPER else 80
+OTA_TEST = 168 if PAPER else 24
+RF_TEST = 105 if PAPER else 16
+EPOCHS = 60 if PAPER else 12
+
+
+def _paths(task: str) -> Path:
+    CACHE_DIR.mkdir(exist_ok=True)
+    return CACHE_DIR / f"{task}_{'paper' if PAPER else 'quick'}.npz"
+
+
+def load_annotator(task: str) -> GcnAnnotator:
+    """Train (or load cached) the recognition model for a task."""
+    classes = task_classes(task)
+    path = _paths(task)
+    if path.exists():
+        try:
+            model = GCNModel.load(str(path))
+        except Exception:
+            # Legacy cache without an embedded config.
+            model = GCNModel.load(str(path), GCNConfig(n_classes=len(classes)))
+        return GcnAnnotator(model=model, class_names=classes)
+    annotator = pretrain_annotator(task, quick=not PAPER)
+    annotator.model.save(str(path))
+    return annotator
+
+
+def load_pipeline(task: str) -> GanaPipeline:
+    return GanaPipeline(annotator=load_annotator(task))
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a reproduced table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n=== {name} ===\n{text}")

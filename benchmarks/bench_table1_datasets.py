@@ -1,0 +1,74 @@
+"""Table I — training dataset description.
+
+Paper:
+
+    Datasets   # Circuits  # Nodes  # Labels  # Features
+    OTA bias   624         32152    2         18
+    RF data    608         21886    3         18
+
+We regenerate both datasets at the same circuit counts and report the
+same columns; node totals depend on our synthetic variant mix, so the
+check is on circuits/labels/features exactly and nodes by order of
+magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import OTA_TRAIN, RF_TRAIN, write_result
+from repro.datasets.synth import (
+    generate_ota_bias_dataset,
+    generate_rf_dataset,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    ota = generate_ota_bias_dataset(OTA_TRAIN)
+    rf = generate_rf_dataset(RF_TRAIN)
+    return ota, rf
+
+
+def bench_table1_generation(benchmark, datasets):
+    """Benchmark dataset generation; emit the Table I reproduction."""
+    ota, rf = datasets
+
+    def regenerate_sample():
+        # Time a 16-circuit slice of each generator (full generation
+        # happens once in the fixture).
+        generate_ota_bias_dataset(8, seed="bench-t1")
+        generate_rf_dataset(8, seed="bench-t1")
+
+    benchmark(regenerate_sample)
+
+    rows = [
+        ("Datasets", "# Circuits", "# Nodes", "# Labels", "# Features"),
+    ]
+    paper = {
+        "OTA bias": (624, 32152, 2, 18),
+        "RF data": (608, 21886, 3, 18),
+    }
+    lines = ["{:<10} {:>10} {:>8} {:>8} {:>10}".format(*rows[0])]
+    for name, dataset in (("OTA bias", ota), ("RF data", rf)):
+        summary = summarize(name, dataset)
+        lines.append(
+            "{:<10} {:>10} {:>8} {:>8} {:>10}".format(
+                name,
+                summary.n_circuits,
+                summary.n_nodes,
+                summary.n_labels,
+                summary.n_features,
+            )
+        )
+        p = paper[name]
+        lines.append(
+            "{:<10} {:>10} {:>8} {:>8} {:>10}   (paper)".format("", *p)
+        )
+        assert summary.n_labels == p[2]
+        assert summary.n_features == p[3]
+        if summary.n_circuits == p[0]:  # paper scale
+            # Node totals should land in the paper's order of magnitude.
+            assert 0.3 * p[1] <= summary.n_nodes <= 3.0 * p[1]
+    write_result("table1_datasets", "\n".join(lines))

@@ -1,0 +1,109 @@
+"""Table II — classification results on the four test sets.
+
+Paper:
+
+    Test set                  # Circuits  # Nodes  GCN accuracy
+    OTA bias                  168         9296     90.5%   (→100% post-I)
+    Switched capacitor filter 1           57       98.2%   (→100% post-I)
+    RF data                   105         17640    83.64%  (→89.24% post-I → 100% post-II)
+    Phased array system       1           902      79.8%   (→87.3% post-I → 100% post-II)
+
+The reproduced table reports GCN / post-I / post-II accuracy per row.
+The shape assertions: postprocessing is monotone per row-average, every
+row ends at ≥99 % after its final stage at paper scale, and the phased
+array is the hardest row for the raw GCN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import OTA_TEST, PAPER, RF_TEST, load_pipeline, write_result
+from repro.datasets.synth import generate_ota_test_set, generate_rf_test_set
+from repro.datasets.systems import phased_array, switched_cap_filter
+from repro.graph.bipartite import CircuitGraph
+
+
+def _eval_set(pipeline, items):
+    accs = {"gcn": [], "post1": [], "post2": []}
+    n_nodes = 0
+    for item in items:
+        result = pipeline.run(
+            item.circuit, port_labels=item.port_labels, name=item.name
+        )
+        n_nodes += result.graph.n_vertices
+        for key, value in result.accuracies(item.truth(result.graph)).items():
+            accs[key].append(value)
+    return {k: float(np.mean(v)) for k, v in accs.items()}, n_nodes
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    return load_pipeline("ota"), load_pipeline("rf")
+
+
+def bench_table2_classification(benchmark, pipelines):
+    ota_pipe, rf_pipe = pipelines
+
+    ota_items = generate_ota_test_set(OTA_TEST)
+    rf_items = generate_rf_test_set(RF_TEST)
+    sc = switched_cap_filter()
+    pa = phased_array()
+
+    rows: list[tuple[str, int, int, dict]] = []
+
+    accs, nodes = _eval_set(ota_pipe, ota_items)
+    rows.append(("OTA bias", len(ota_items), nodes, accs))
+
+    accs, nodes = _eval_set(ota_pipe, [sc])
+    rows.append(("Switched capacitor filter", 1, nodes, accs))
+
+    accs, nodes = _eval_set(rf_pipe, rf_items)
+    rows.append(("RF data", len(rf_items), nodes, accs))
+
+    accs, nodes = _eval_set(rf_pipe, [pa])
+    rows.append(("Phased array system", 1, nodes, accs))
+
+    # The benchmarked quantity: one full pipeline run on the largest case.
+    benchmark.pedantic(
+        lambda: rf_pipe.run(pa.circuit, port_labels=pa.port_labels),
+        rounds=3,
+        iterations=1,
+    )
+
+    paper_gcn = {
+        "OTA bias": 0.905,
+        "Switched capacitor filter": 0.982,
+        "RF data": 0.8364,
+        "Phased array system": 0.798,
+    }
+    lines = [
+        "{:<26} {:>9} {:>8} {:>8} {:>8} {:>8} {:>11}".format(
+            "Test set", "#Circuits", "#Nodes", "GCN", "Post-I", "Post-II", "paper GCN"
+        )
+    ]
+    for name, n_circ, nodes, accs in rows:
+        lines.append(
+            "{:<26} {:>9} {:>8} {:>7.1%} {:>7.1%} {:>7.1%} {:>10.1%}".format(
+                name, n_circ, nodes, accs["gcn"], accs["post1"], accs["post2"],
+                paper_gcn[name],
+            )
+        )
+    write_result("table2_classification", "\n".join(lines))
+
+    # Shape assertions (the paper's qualitative claims).
+    by_name = {name: accs for name, _c, _n, accs in rows}
+    for name, accs in by_name.items():
+        assert accs["post1"] >= accs["gcn"] - 0.02, name
+        assert accs["post2"] >= accs["post1"] - 1e-9, name
+    # The phased array is the hardest row for the raw GCN.
+    assert by_name["Phased array system"]["gcn"] == min(
+        a["gcn"] for a in by_name.values()
+    )
+    if PAPER:
+        # Postprocessing reaches (essentially) perfect annotation.
+        assert by_name["OTA bias"]["post1"] >= 0.99
+        assert by_name["Switched capacitor filter"]["post1"] >= 0.99
+        assert by_name["RF data"]["post2"] >= 0.99
+        assert by_name["Phased array system"]["post2"] >= 0.99

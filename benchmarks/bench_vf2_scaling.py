@@ -1,0 +1,88 @@
+"""Sec. IV-A — VF2 is O(n) for O(1)-size, O(1)-degree patterns.
+
+Paper: "for our problem where the library subgraph to be matched has
+O(1) diameter and O(1) degree, the complexity is O(n)."
+
+We match the CM-N(2) primitive (and the full 21-template library)
+against phased arrays of growing channel counts and fit the time-vs-
+vertices curve: the growth exponent must be close to 1 (< 1.5 with
+measurement slack), i.e. decisively sub-quadratic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._common import write_result
+from repro.datasets.systems import phased_array
+from repro.graph.bipartite import CircuitGraph
+from repro.primitives.library import default_library
+from repro.primitives.matcher import annotate_primitives, find_primitive_matches
+
+LIB = default_library()
+CHANNELS = (2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    out = []
+    for n_channels in CHANNELS:
+        system = phased_array(n_channels=n_channels)
+        out.append(CircuitGraph.from_circuit(system.circuit))
+    return out
+
+
+def _fit_exponent(ns, ts):
+    logs_n = np.log(np.asarray(ns, dtype=float))
+    logs_t = np.log(np.asarray(ts, dtype=float))
+    slope, _intercept = np.polyfit(logs_n, logs_t, 1)
+    return float(slope)
+
+
+def bench_vf2_single_template_scaling(benchmark, graphs):
+    template = LIB.get("CM-N(2)")
+    times, ns = [], []
+    for graph in graphs:
+        start = time.perf_counter()
+        for _ in range(3):
+            find_primitive_matches(template, graph)
+        times.append((time.perf_counter() - start) / 3)
+        ns.append(graph.n_vertices)
+
+    benchmark(find_primitive_matches, template, graphs[-1])
+
+    exponent = _fit_exponent(ns, times)
+    lines = ["{:>9} {:>10}".format("vertices", "seconds")]
+    for n, t in zip(ns, times):
+        lines.append("{:>9} {:>9.5f}s".format(n, t))
+    lines.append("")
+    lines.append(f"fitted growth exponent: {exponent:.2f}  (paper claim: O(n))")
+    write_result("vf2_single_template_scaling", "\n".join(lines))
+
+    assert exponent < 1.6  # decisively sub-quadratic
+
+
+def bench_vf2_full_library_scaling(benchmark, graphs):
+    times, ns = [], []
+    for graph in graphs:
+        start = time.perf_counter()
+        annotate_primitives(graph, LIB)
+        times.append(time.perf_counter() - start)
+        ns.append(graph.n_vertices)
+
+    benchmark.pedantic(
+        lambda: annotate_primitives(graphs[0], LIB), rounds=3, iterations=1
+    )
+
+    exponent = _fit_exponent(ns, times)
+    lines = ["{:>9} {:>10}".format("vertices", "seconds")]
+    for n, t in zip(ns, times):
+        lines.append("{:>9} {:>9.5f}s".format(n, t))
+    lines.append("")
+    lines.append(f"fitted growth exponent: {exponent:.2f}")
+    write_result("vf2_full_library_scaling", "\n".join(lines))
+
+    assert exponent < 2.0

@@ -1,0 +1,113 @@
+"""Extending GANA: user primitives, custom training data, hyperopt.
+
+Run:  python examples/custom_primitives_and_training.py
+
+The paper stresses that "the primitives are specified as SPICE
+netlists, enabling a user to easily add new primitives to the library"
+and that designers extend the training set in SPICE.  This example
+does both:
+
+1. registers a new primitive (a source-degenerated current mirror)
+   with its own matching constraint, and finds it in a circuit;
+2. builds a small custom labeled dataset from SPICE text and trains a
+   recognition model on it;
+3. runs the paper's random-search hyperparameter optimization over
+   learning rate / regularization / decay / filter size (Sec. V-A).
+"""
+
+from repro.core.constraints import Constraint, ConstraintKind
+from repro.datasets import build_samples, generate_ota_bias_dataset
+from repro.gcn import GCNConfig, GCNModel, TrainConfig, evaluate, train
+from repro.gcn.hyperopt import SearchSpace, random_search
+from repro.gcn.samples import train_validation_split
+from repro.graph import CircuitGraph
+from repro.primitives import annotate_primitives, default_library
+from repro.spice import flatten, parse_netlist
+
+DEGENERATED_MIRROR = """
+.subckt cm_deg ref out s
+m1 ref ref x1 gnd! nmos
+m2 out ref x2 gnd! nmos
+r1 x1 s 1k
+r2 x2 s 1k
+.ends
+"""
+
+TARGET = """
+* a mirror with source-degeneration resistors
+m1 vb vb n1 gnd! nmos
+m2 iout vb n2 gnd! nmos
+r1 n1 gnd! 2k
+r2 n2 gnd! 2k
+iref vdd! vb 10u
+.end
+"""
+
+
+def demo_custom_primitive() -> None:
+    library = default_library()
+    library.add_spice(
+        "CM-DEG",
+        DEGENERATED_MIRROR,
+        constraints=(
+            Constraint(ConstraintKind.MATCHING, ("m1", "m2"), source="CM-DEG"),
+            Constraint(ConstraintKind.MATCHING, ("r1", "r2"), source="CM-DEG"),
+        ),
+        port_roles=(("s", "power"),),
+    )
+    graph = CircuitGraph.from_circuit(flatten(parse_netlist(TARGET)))
+    result = annotate_primitives(graph, library)
+    print("matches in the degenerated-mirror circuit:")
+    for match in result.matches:
+        print(f"  {match.describe()}")
+        for constraint in match.constraints:
+            print(f"    constraint: {constraint.kind.value} {constraint.members}")
+
+
+def demo_training_and_hyperopt() -> None:
+    print("\nbuilding a small OTA dataset and training from scratch ...")
+    dataset = generate_ota_bias_dataset(48, seed="example")
+    samples = build_samples(dataset, ("ota", "bias"), levels=2)
+    train_set, val_set = train_validation_split(samples, 0.2, seed=0)
+
+    config = GCNConfig(
+        n_classes=2, filter_size=8, channels=(16, 32), fc_size=64, seed=0
+    )
+    model = GCNModel(config)
+    history = train(
+        model, train_set, val_set, TrainConfig(epochs=10, patience=0)
+    )
+    print(
+        f"  trained {model.n_parameters()} parameters; "
+        f"val accuracy {evaluate(model, val_set):.1%} "
+        f"(best epoch {history.best_epoch})"
+    )
+
+    print("\nrandom-search hyperparameter optimization (4 trials) ...")
+    search = random_search(
+        config,
+        TrainConfig(epochs=6, patience=0),
+        train_set,
+        val_set,
+        n_trials=4,
+        space=SearchSpace(filter_size=(4, 8, 16)),
+        seed=7,
+    )
+    for i, trial in enumerate(search.trials):
+        print(
+            f"  trial {i}: lr={trial.train_config.lr:.2e} "
+            f"wd={trial.train_config.weight_decay:.1e} "
+            f"K={trial.model_config.filter_size:<3} "
+            f"dropout={trial.model_config.dropout:.1f} "
+            f"-> val {trial.val_accuracy:.1%}"
+        )
+    best = search.best
+    print(
+        f"  best: K={best.model_config.filter_size}, "
+        f"lr={best.train_config.lr:.2e} ({best.val_accuracy:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    demo_custom_primitive()
+    demo_training_and_hyperopt()

@@ -1,0 +1,95 @@
+"""The paper's switched-capacitor filter use case, end to end
+(Table II row 2 + Fig. 6).
+
+Run:  python examples/switched_cap_filter.py
+
+1. Generates the composite SC-filter testcase (telescopic OTA + bias +
+   switch/cap network — ~31 devices / ~22 nets, mirroring the paper's
+   32/25).
+2. Trains the OTA/bias recognition GCN.
+3. Runs the GANA flow and reports the GCN → Post-I accuracy staircase.
+4. Feeds the extracted hierarchy to the constraint-aware placer and
+   renders the resulting floorplan as ASCII art — the reproduction of
+   the Fig. 6 layout demonstration.
+"""
+
+from repro import GanaPipeline
+from repro.datasets import switched_cap_filter
+from repro.layout import place_hierarchy
+
+
+def render_ascii(layout, width: int = 72) -> str:
+    """Coarse character rendering of the placement."""
+    outline = layout.outline
+    scale_x = (width - 1) / max(outline.width, 1.0)
+    height = max(8, int(outline.height * scale_x * 0.5))
+    scale_y = (height - 1) / max(outline.height, 1.0)
+    canvas = [[" "] * width for _ in range(height)]
+    for name, rect in sorted(layout.device_rects.items()):
+        tag = name.split("/")[-1][0]
+        x0 = int((rect.x - outline.x) * scale_x)
+        x1 = max(x0 + 1, int((rect.x2 - outline.x) * scale_x))
+        y0 = int((rect.y - outline.y) * scale_y)
+        y1 = max(y0 + 1, int((rect.y2 - outline.y) * scale_y))
+        for y in range(y0, min(y1, height)):
+            for x in range(x0, min(x1, width)):
+                canvas[y][x] = tag
+    return "\n".join("".join(row) for row in reversed(canvas))
+
+
+def main() -> None:
+    system = switched_cap_filter()
+    print(
+        f"testcase: {system.name} — {system.n_devices} devices "
+        f"(paper: 32 devices, 25 nets)"
+    )
+
+    print("training recognition model (~20 s on 300 generated OTAs) ...")
+    from repro.gcn import GCNConfig, TrainConfig
+
+    pipeline = GanaPipeline.pretrained(
+        "ota",
+        quick=True,
+        train_size=300,
+        model_config=GCNConfig(
+            n_classes=2, filter_size=16, channels=(24, 48), fc_size=128, seed=0
+        ),
+        train_config=TrainConfig(epochs=25, batch_size=8, patience=6, seed=0),
+    )
+
+    result = pipeline.run(
+        system.circuit, port_labels=system.port_labels, name=system.name
+    )
+    truth = system.truth(result.graph)
+    accs = result.accuracies(truth)
+    print(
+        f"\naccuracy: GCN {accs['gcn']:.1%}  ->  Post-I {accs['post1']:.1%}"
+        f"   (paper: 98.2% -> 100%)"
+    )
+
+    print("\nhierarchy:")
+    print(result.hierarchy.render())
+
+    layout = place_hierarchy(result.hierarchy, system.circuit)
+    layout.verify()
+    print(f"\n{layout.summary()}  — constraints verified (no overlap, exact symmetry)")
+
+    from repro.layout import AnnealConfig, anneal_placement, total_wirelength
+
+    initial = total_wirelength(layout, system.circuit)
+    annealed = anneal_placement(
+        result.hierarchy, system.circuit, AnnealConfig(steps=250)
+    )
+    annealed.layout.verify()
+    print(
+        f"wirelength: {initial:.1f} -> {annealed.final_cost:.1f} units "
+        f"after annealing ({annealed.improvement:.1%} shorter, constraints intact)"
+    )
+    layout = annealed.layout
+
+    print("\nfloorplan (m=transistor, c=cap, r=resistor; per-device tags):")
+    print(render_ascii(layout))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an
+editable wheel.  This shim lets ``python setup.py develop`` provide the
+equivalent editable install; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""GANA reproduction: GCN-based automated netlist annotation for analog
+circuits (Kunal et al., DATE 2020).
+
+The package layers, bottom to top:
+
+* :mod:`repro.spice`    — SPICE parsing, flattening, preprocessing
+* :mod:`repro.graph`    — bipartite circuit graphs, features, Laplacians
+* :mod:`repro.gcn`      — spectral Chebyshev GCN built on numpy/scipy
+* :mod:`repro.primitives` — 21-template library + VF2 matching
+* :mod:`repro.core`     — the GANA pipeline: annotate → postprocess →
+  hierarchy + constraints
+* :mod:`repro.layout`   — constraint-aware placement use case
+* :mod:`repro.datasets` — parametric analog circuit generators
+
+Quick start::
+
+    from repro import GanaPipeline
+    pipeline = GanaPipeline.pretrained("ota")
+    result = pipeline.run(spice_text)
+    print(result.hierarchy.render())
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Lazy import so that `repro.spice` etc. are usable while the core
+    # package is only partially built/installed.
+    if name in ("GanaPipeline", "PipelineResult"):
+        from repro.core.pipeline import GanaPipeline, PipelineResult
+
+        return {"GanaPipeline": GanaPipeline, "PipelineResult": PipelineResult}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["GanaPipeline", "PipelineResult", "__version__"]

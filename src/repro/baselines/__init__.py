@@ -1,0 +1,22 @@
+"""Baselines the paper positions GANA against.
+
+* :mod:`repro.baselines.template` — library-based sub-block recognition
+  (the prior art of refs [2], [3]): exact subgraph isomorphism against a
+  library of *whole sub-block* templates.  Works only for topologies
+  enumerated in the library — the brittleness that motivates the GCN.
+* :mod:`repro.baselines.kipf` — first-order GCN layer (Kipf & Welling,
+  ref [9]) as a drop-in alternative to the Chebyshev filters.
+"""
+
+from repro.baselines.kipf import KipfConv, kipf_model
+from repro.baselines.template import (
+    TemplateRecognizer,
+    subblock_template_library,
+)
+
+__all__ = [
+    "KipfConv",
+    "TemplateRecognizer",
+    "kipf_model",
+    "subblock_template_library",
+]

@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+::
+
+    python -m repro annotate my_amp.sp --task ota [--model model.npz]
+    python -m repro train --task rf --out model.npz [--quick]
+    python -m repro primitives [--extended]
+    python -m repro datasets --task ota -n 10 --out-dir decks/
+
+``annotate`` prints the per-device annotation, the hierarchy tree, and
+the discovered constraints.  ``train`` trains a recognition model on
+generated data and saves its weights.  ``primitives`` lists the
+template library.  ``datasets`` writes generated SPICE decks to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    from repro.core.annotator import GcnAnnotator
+    from repro.core.pipeline import GanaPipeline
+    from repro.datasets.synth import pretrain_annotator, task_classes
+    from repro.gcn.model import GCNModel
+
+    text = Path(args.netlist).read_text()
+    if args.model:
+        classes = task_classes(args.task)
+        model = GCNModel.load(args.model)
+        if model.config.n_classes != len(classes):
+            print(
+                f"error: model has {model.config.n_classes} classes but task "
+                f"{args.task!r} needs {len(classes)}",
+                file=sys.stderr,
+            )
+            return 2
+        annotator = GcnAnnotator(model=model, class_names=classes)
+    else:
+        print("no --model given; training a quick model ...", file=sys.stderr)
+        annotator = pretrain_annotator(args.task, quick=True)
+    pipeline = GanaPipeline(annotator=annotator)
+
+    port_labels = {}
+    for spec in args.port or []:
+        net, _, label = spec.partition("=")
+        port_labels[net] = label
+    result = pipeline.run(text, port_labels=port_labels, name=Path(args.netlist).stem)
+
+    if args.export_dir:
+        from repro.core.export import (
+            constraints_json,
+            graph_dot,
+            hierarchy_dot,
+            hierarchy_json,
+        )
+
+        out = Path(args.export_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "constraints.json").write_text(
+            constraints_json(result.constraints)
+        )
+        (out / "hierarchy.json").write_text(hierarchy_json(result.hierarchy))
+        (out / "hierarchy.dot").write_text(hierarchy_dot(result.hierarchy))
+        (out / "graph.dot").write_text(
+            graph_dot(result.graph, result.annotation)
+        )
+        print(f"wrote constraints/hierarchy/graph exports to {out}", file=sys.stderr)
+
+    if args.json:
+        payload = {
+            "devices": result.annotation.element_classes,
+            "nets": result.annotation.net_classes,
+            "hierarchy": result.hierarchy.to_dict(),
+            "timings": result.timings,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print("per-device annotation:")
+    for device, cls in sorted(result.annotation.element_classes.items()):
+        print(f"  {device:<16} {cls}")
+    print("\nhierarchy:")
+    print(result.hierarchy.render())
+    print("\nconstraints:")
+    for constraint in result.constraints:
+        print(
+            f"  {constraint.kind.value:<16} {', '.join(constraint.members)}"
+            f"  ({constraint.source})"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.datasets.synth import pretrain_annotator
+
+    annotator = pretrain_annotator(args.task, quick=args.quick, seed=args.seed)
+    annotator.model.save(args.out)
+    print(f"saved {args.task} model ({annotator.model.n_parameters()} params) to {args.out}")
+    return 0
+
+
+def _cmd_primitives(args: argparse.Namespace) -> int:
+    from repro.primitives.library import default_library, extended_library
+
+    library = extended_library() if args.extended else default_library()
+    print(f"{len(library)} primitives:")
+    for template in library:
+        constraints = ", ".join(
+            c.kind.value for c in template.constraints
+        ) or "-"
+        print(
+            f"  {template.name:<12} {template.n_elements} elements   "
+            f"constraints: {constraints}"
+        )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets.synth import (
+        generate_ota_bias_dataset,
+        generate_rf_dataset,
+    )
+    from repro.spice.writer import write_circuit
+
+    generator = (
+        generate_ota_bias_dataset if args.task == "ota" else generate_rf_dataset
+    )
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for item in generator(args.count, seed=args.seed):
+        (out_dir / f"{item.name}.sp").write_text(write_circuit(item.circuit))
+        (out_dir / f"{item.name}.labels.json").write_text(
+            json.dumps(item.device_labels, indent=2)
+        )
+    print(f"wrote {args.count} decks (+labels) to {out_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GANA: GCN-based automated netlist annotation (DATE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    annotate = sub.add_parser("annotate", help="annotate a SPICE netlist")
+    annotate.add_argument("netlist", help="path to a SPICE deck")
+    annotate.add_argument("--task", choices=("ota", "rf"), default="ota")
+    annotate.add_argument("--model", help="trained model .npz (else quick-train)")
+    annotate.add_argument(
+        "--port",
+        action="append",
+        metavar="NET=LABEL",
+        help="testbench port label, e.g. rfin=antenna or lo=oscillating",
+    )
+    annotate.add_argument("--json", action="store_true", help="JSON output")
+    annotate.add_argument(
+        "--export-dir",
+        help="write ALIGN-style constraints.json, hierarchy.json/dot, graph.dot",
+    )
+    annotate.set_defaults(func=_cmd_annotate)
+
+    train = sub.add_parser("train", help="train a recognition model")
+    train.add_argument("--task", choices=("ota", "rf"), default="ota")
+    train.add_argument("--out", required=True, help="output .npz path")
+    train.add_argument("--quick", action="store_true", help="small/fast training")
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=_cmd_train)
+
+    primitives = sub.add_parser("primitives", help="list the template library")
+    primitives.add_argument(
+        "--extended", action="store_true", help="include INV/BUF"
+    )
+    primitives.set_defaults(func=_cmd_primitives)
+
+    datasets = sub.add_parser("datasets", help="write generated decks to disk")
+    datasets.add_argument("--task", choices=("ota", "rf"), default="ota")
+    datasets.add_argument("-n", "--count", type=int, default=10)
+    datasets.add_argument("--out-dir", default="generated_decks")
+    datasets.add_argument("--seed", default="cli")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

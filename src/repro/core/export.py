@@ -1,0 +1,136 @@
+"""Exporting recognition results for downstream tools.
+
+GANA is one stage of the ALIGN flow (ref [6]); its output — hierarchy
+plus constraints — feeds layout tools that consume JSON constraint
+files.  This module serializes a :class:`PipelineResult` in three
+interchange forms:
+
+* :func:`constraints_json` — ALIGN-style constraint records
+  (``{"constraint": "SymmetricBlocks", "pairs": [...]}`` …),
+* :func:`hierarchy_json` — the full annotated hierarchy tree,
+* :func:`hierarchy_dot` / :func:`graph_dot` — Graphviz renderings of
+  the tree and of the bipartite circuit graph (annotated with classes).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.annotator import Annotation
+from repro.core.constraints import Constraint, ConstraintKind, ConstraintSet
+from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.graph.bipartite import CircuitGraph
+
+#: ALIGN constraint-name mapping.
+_ALIGN_NAMES: dict[ConstraintKind, str] = {
+    ConstraintKind.SYMMETRY: "SymmetricBlocks",
+    ConstraintKind.MATCHING: "GroupBlocks",
+    ConstraintKind.COMMON_CENTROID: "CommonCentroid",
+    ConstraintKind.PROXIMITY: "Proximity",
+    ConstraintKind.GUARD_RING: "GuardRing",
+    ConstraintKind.MIN_WIRELENGTH: "MinimizeWirelength",
+    ConstraintKind.SHIELDING: "ShieldNet",
+}
+
+
+def constraint_record(constraint: Constraint) -> dict:
+    """One ALIGN-style JSON record for a constraint."""
+    record: dict = {
+        "constraint": _ALIGN_NAMES[constraint.kind],
+        "source": constraint.source,
+    }
+    if constraint.kind is ConstraintKind.SYMMETRY:
+        members = list(constraint.members)
+        pairs = [
+            members[i : i + 2] for i in range(0, len(members) - 1, 2)
+        ]
+        record["pairs"] = pairs
+        if len(members) % 2:
+            record["self_symmetric"] = [members[-1]]
+    else:
+        record["instances"] = list(constraint.members)
+    record.update(constraint.attribute_map)
+    return record
+
+
+def constraints_json(constraints: ConstraintSet, indent: int = 2) -> str:
+    """Serialize a constraint set as an ALIGN-style JSON array."""
+    return json.dumps(
+        [constraint_record(c) for c in constraints], indent=indent
+    )
+
+
+def hierarchy_json(root: HierarchyNode, indent: int = 2) -> str:
+    """The annotated hierarchy tree as JSON."""
+    return json.dumps(root.to_dict(), indent=indent)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def hierarchy_dot(root: HierarchyNode) -> str:
+    """Graphviz DOT of the hierarchy tree (shape-coded by level)."""
+    shapes = {
+        NodeKind.SYSTEM: "doubleoctagon",
+        NodeKind.SUBBLOCK: "box",
+        NodeKind.PRIMITIVE: "ellipse",
+        NodeKind.ELEMENT: "plaintext",
+    }
+    lines = ["digraph hierarchy {", "  rankdir=TB;"]
+    ids: dict[int, str] = {}
+    for index, node in enumerate(root.walk()):
+        ids[id(node)] = f"n{index}"
+        label = node.name
+        if node.block_class and node.block_class != node.name:
+            label += f"\\n[{node.block_class}]"
+        lines.append(
+            f'  n{index} [label="{_dot_escape(label)}" '
+            f"shape={shapes[node.kind]}];"
+        )
+    for node in root.walk():
+        for child in node.children:
+            lines.append(f"  {ids[id(node)]} -> {ids[id(child)]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_dot(
+    graph: CircuitGraph, annotation: Annotation | None = None
+) -> str:
+    """Graphviz DOT of the bipartite circuit graph.
+
+    Element vertices are boxes, net vertices are points; when an
+    annotation is given, vertices are colored by class (a stable
+    palette over the class list, as in the paper's Fig. 7 rendering).
+    """
+    palette = (
+        "lightgreen", "lightcoral", "lightskyblue", "orange",
+        "plum", "khaki", "lightgray", "cyan",
+    )
+    lines = ["graph circuit {", "  layout=neato;", "  overlap=false;"]
+
+    def color_of(vertex: int) -> str:
+        if annotation is None:
+            return "white"
+        cls = int(annotation.vertex_classes[vertex])
+        if cls < 0:
+            return "white"
+        return palette[cls % len(palette)]
+
+    for i, dev in enumerate(graph.elements):
+        lines.append(
+            f'  e{i} [label="{_dot_escape(dev.name)}" shape=box '
+            f'style=filled fillcolor="{color_of(i)}"];'
+        )
+    for j, net in enumerate(graph.nets):
+        vertex = graph.n_elements + j
+        lines.append(
+            f'  v{j} [label="{_dot_escape(net)}" shape=ellipse '
+            f'style=filled fillcolor="{color_of(vertex)}" fontsize=9];'
+        )
+    for edge in graph.edges:
+        attrs = f' [label="{edge.label:03b}"]' if edge.label else ""
+        lines.append(f"  e{edge.element} -- v{edge.net}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)

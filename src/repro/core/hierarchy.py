@@ -1,0 +1,123 @@
+"""Hierarchy trees (Sec. II-A, Fig. 1).
+
+The recognition output is a tree over four levels: **system** →
+**sub-blocks** (possibly nested) → **primitives** → **elements**.
+:class:`HierarchyNode` is a plain recursive structure with rendering
+and search helpers; :mod:`repro.core.pipeline` builds it from the
+annotated graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.constraints import Constraint
+
+
+class NodeKind(enum.Enum):
+    """The four abstraction levels of Sec. II-A."""
+
+    SYSTEM = "system"
+    SUBBLOCK = "sub-block"
+    PRIMITIVE = "primitive"
+    ELEMENT = "element"
+
+
+@dataclass
+class HierarchyNode:
+    """One node of the recognized hierarchy tree.
+
+    ``block_class`` is the recognized functionality ("ota", "lna",
+    "bias" …) for sub-blocks, or the template name for primitives.
+    ``devices`` lists the flat device names owned *directly* (for
+    primitives) — use :meth:`all_devices` for the transitive set.
+    """
+
+    name: str
+    kind: NodeKind
+    block_class: str = ""
+    devices: tuple[str, ...] = ()
+    children: list["HierarchyNode"] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def add(self, child: "HierarchyNode") -> "HierarchyNode":
+        self.children.append(child)
+        return child
+
+    # -- queries ---------------------------------------------------------
+
+    def walk(self) -> Iterator["HierarchyNode"]:
+        """Depth-first pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "HierarchyNode | None":
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def subblocks(self) -> list["HierarchyNode"]:
+        return [n for n in self.walk() if n.kind is NodeKind.SUBBLOCK]
+
+    def primitives(self) -> list["HierarchyNode"]:
+        return [n for n in self.walk() if n.kind is NodeKind.PRIMITIVE]
+
+    def all_devices(self) -> set[str]:
+        """Every device name owned by this subtree."""
+        out: set[str] = set()
+        for node in self.walk():
+            out |= set(node.devices)
+        return out
+
+    def all_constraints(self) -> list[Constraint]:
+        out: list[Constraint] = []
+        for node in self.walk():
+            out.extend(node.constraints)
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Height of this subtree (a lone node has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth for child in self.children)
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, indent: str = "") -> str:
+        """Multi-line ASCII tree, e.g. for the quickstart example."""
+        label = self.name
+        if self.block_class and self.block_class != self.name:
+            label = f"{self.name} [{self.block_class}]"
+        tags = []
+        if self.devices:
+            tags.append(f"{len(self.devices)} dev")
+        if self.constraints:
+            tags.append(f"{len(self.constraints)} constr")
+        suffix = f"  ({', '.join(tags)})" if tags else ""
+        lines = [f"{indent}{self.kind.value}: {label}{suffix}"]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "class": self.block_class,
+            "devices": list(self.devices),
+            "constraints": [
+                {
+                    "kind": c.kind.value,
+                    "members": list(c.members),
+                    "source": c.source,
+                }
+                for c in self.constraints
+            ],
+            "children": [child.to_dict() for child in self.children],
+        }

@@ -1,0 +1,293 @@
+"""The end-to-end GANA flow (Sec. II-B).
+
+    SPICE text
+      → parse → flatten → preprocess            (repro.spice)
+      → bipartite graph + features              (repro.graph)
+      → GCN sub-block annotation                (repro.gcn / annotator)
+      → Postprocessing I (CCC vote, primitives, stand-alones, BPF)
+      → Postprocessing II (port rules)          (postprocess)
+      → hierarchy tree + propagated constraints (hierarchy, constraints)
+
+Every stage's wall-clock time is recorded in
+:attr:`PipelineResult.timings` — the quantity Sec. V-B reports for the
+switched-capacitor filter (135 s) and phased array (514 s).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.annotator import Annotation, GcnAnnotator
+from repro.core.constraints import (
+    Constraint,
+    ConstraintSet,
+    propagate,
+    subblock_constraints,
+)
+from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.core.postprocess import (
+    PostprocessResult,
+    apply_port_rules,
+    postprocess_ccc,
+)
+from repro.gcn.model import GCNModel
+from repro.graph.bipartite import CircuitGraph
+from repro.graph.ccc import CCCPartition
+from repro.graph.features import NetRole
+from repro.primitives.library import PrimitiveLibrary, extended_library
+from repro.spice.flatten import flatten
+from repro.spice.netlist import Circuit, Netlist
+from repro.spice.parser import parse_netlist
+from repro.spice.preprocess import PreprocessReport, preprocess
+
+
+@dataclass
+class PipelineResult:
+    """Everything the flow produces for one input netlist."""
+
+    graph: CircuitGraph
+    gcn_annotation: Annotation
+    post1: PostprocessResult
+    post2: PostprocessResult
+    hierarchy: HierarchyNode
+    constraints: ConstraintSet
+    preprocess_report: PreprocessReport
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def annotation(self) -> Annotation:
+        """The final (post-II) annotation."""
+        return self.post2.annotation
+
+    def accuracies(self, truth: dict[str, str]) -> dict[str, float]:
+        """GCN / post-I / post-II accuracy against ground truth —
+        the three columns of Table II's narrative."""
+        return {
+            "gcn": self.gcn_annotation.accuracy(truth),
+            "post1": self.post1.annotation.accuracy(truth),
+            "post2": self.post2.annotation.accuracy(truth),
+        }
+
+
+def build_hierarchy(
+    result: PostprocessResult, system_name: str
+) -> tuple[HierarchyNode, ConstraintSet]:
+    """Assemble the hierarchy tree from a postprocessed annotation.
+
+    Sub-block instances are connected groups of same-class CCCs
+    (connected through shared non-power nets); each carries its
+    class-implied constraints plus the constraints of the primitives
+    inside it, with symmetry axes merged per sub-block (Sec. IV-B).
+    Stand-alone primitives hang off the system root.
+    """
+    annotation = result.annotation
+    graph = annotation.graph
+    partition = result.partition
+
+    root = HierarchyNode(name=system_name, kind=NodeKind.SYSTEM)
+    all_constraints = ConstraintSet()
+
+    standalone_cids = {cid for cid, _match in result.standalone}
+
+    # Group CCCs: same class + net connectivity => one sub-block instance.
+    # Power rails never group, and neither do distribution nets (nets
+    # touching more than two components, e.g. a bias rail shared by
+    # every channel's LNA): only point-to-point signal connections
+    # define an instance.
+    ccc_neighbors: dict[int, set[int]] = defaultdict(set)
+    for net_local, cids in partition.of_net.items():
+        from repro.spice.netlist import is_power_net
+
+        if is_power_net(graph.nets[net_local]) or len(cids) > 2:
+            continue
+        for a in cids:
+            for b in cids:
+                if a != b:
+                    ccc_neighbors[a].add(b)
+
+    visited: set[int] = set()
+    instance_counter: dict[str, int] = defaultdict(int)
+    for cid in range(partition.n_components):
+        if cid in visited or cid in standalone_cids:
+            continue
+        cls_id = result.ccc_classes.get(cid, -1)
+        cls_name = annotation.class_name(cls_id)
+        group = [cid]
+        visited.add(cid)
+        queue = [cid]
+        while queue:
+            current = queue.pop()
+            for other in ccc_neighbors[current]:
+                if (
+                    other not in visited
+                    and other not in standalone_cids
+                    and result.ccc_classes.get(other, -1) == cls_id
+                ):
+                    visited.add(other)
+                    group.append(other)
+                    queue.append(other)
+
+        index = instance_counter[cls_name]
+        instance_counter[cls_name] += 1
+        block_name = f"{cls_name}{index}"
+        block = HierarchyNode(
+            name=block_name, kind=NodeKind.SUBBLOCK, block_class=cls_name
+        )
+        block.constraints.extend(subblock_constraints(cls_name, block_name))
+
+        block_constraints = ConstraintSet()
+        for member_cid in group:
+            member_devices = {
+                graph.elements[i].name for i in partition.components[member_cid]
+            }
+            claimed: set[str] = set()
+            for match in result.ccc_matches.get(member_cid, []):
+                primitive = HierarchyNode(
+                    name=f"{block_name}/{match.primitive}@{min(match.elements)}",
+                    kind=NodeKind.PRIMITIVE,
+                    block_class=match.primitive,
+                    devices=tuple(sorted(match.elements)),
+                    constraints=list(match.constraints),
+                )
+                block.add(primitive)
+                claimed |= match.elements
+                block_constraints.extend(list(match.constraints))
+            for name in sorted(member_devices - claimed):
+                block.add(
+                    HierarchyNode(
+                        name=name, kind=NodeKind.ELEMENT, devices=(name,)
+                    )
+                )
+        # Merge symmetry axes within the sub-block (common axis).
+        merged = propagate(block_constraints)
+        block.constraints.extend(
+            c for c in merged if c not in block.constraints
+        )
+        root.add(block)
+        all_constraints.extend(block.constraints)
+        for child in block.children:
+            all_constraints.extend(child.constraints)
+
+    # Stand-alone primitives get their own top-level hierarchy.
+    for cid, match in result.standalone:
+        node = HierarchyNode(
+            name=f"standalone/{match.primitive}@{min(match.elements)}",
+            kind=NodeKind.PRIMITIVE,
+            block_class=match.primitive,
+            devices=tuple(sorted(match.elements)),
+            constraints=list(match.constraints),
+        )
+        root.add(node)
+        all_constraints.extend(node.constraints)
+
+    return root, all_constraints
+
+
+@dataclass
+class GanaPipeline:
+    """User-facing entry point: a trained annotator plus the library."""
+
+    annotator: GcnAnnotator
+    library: PrimitiveLibrary = field(default_factory=extended_library)
+    detect_bpf: bool = True
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return self.annotator.class_names
+
+    @classmethod
+    def pretrained(
+        cls,
+        task: str = "ota",
+        quick: bool = True,
+        seed: int = 0,
+        **kwargs,
+    ) -> "GanaPipeline":
+        """Train a recognition model on the generated datasets.
+
+        ``task`` is ``"ota"`` (classes: ota/bias) or ``"rf"`` (classes:
+        lna/mixer/osc).  ``quick=True`` trains on a reduced dataset for
+        interactive use; ``quick=False`` reproduces the paper-scale
+        training run.  Extra keyword arguments (e.g. ``train_size``)
+        pass through to
+        :func:`repro.datasets.synth.pretrain_annotator`.  No weights
+        ship with the package — datasets are generated on the fly, so
+        "pretrained" means "trained now, deterministically".
+        """
+        from repro.datasets.synth import pretrain_annotator
+
+        annotator = pretrain_annotator(task, quick=quick, seed=seed, **kwargs)
+        return cls(annotator=annotator)
+
+    def run(
+        self,
+        netlist: str | Netlist | Circuit,
+        net_roles: dict[str, NetRole] | None = None,
+        port_labels: dict[str, str] | None = None,
+        name: str = "",
+        infer_testbench: bool = True,
+    ) -> PipelineResult:
+        """Execute the full flow on a SPICE deck / netlist / flat circuit.
+
+        When the deck still contains its testbench sources and
+        ``infer_testbench`` is on, antenna/oscillating port labels and
+        bias net roles are inferred from them (Sec. V-A footnote 2);
+        explicit ``port_labels``/``net_roles`` entries always win.
+        """
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        if isinstance(netlist, str):
+            netlist = parse_netlist(netlist)
+        if isinstance(netlist, Netlist):
+            flat = flatten(netlist)
+        else:
+            flat = netlist
+        if infer_testbench and any(d.kind.is_source for d in flat.devices):
+            from repro.core.testbench import infer_net_roles, infer_port_labels
+
+            inferred_labels = infer_port_labels(flat)
+            inferred_labels.update(port_labels or {})
+            port_labels = inferred_labels
+            inferred_roles = infer_net_roles(flat)
+            inferred_roles.update(net_roles or {})
+            net_roles = inferred_roles
+        reduced, report = preprocess(flat)
+        timings["preprocess"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        graph = CircuitGraph.from_circuit(reduced)
+        timings["graph"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        gcn_annotation = self.annotator.annotate(graph, net_roles=net_roles)
+        timings["gcn"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        post1 = postprocess_ccc(
+            gcn_annotation, self.library, detect_bpf=self.detect_bpf
+        )
+        timings["post1"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        post2 = apply_port_rules(post1, port_labels or {})
+        timings["post2"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        hierarchy, constraints = build_hierarchy(
+            post2, system_name=name or flat.name
+        )
+        timings["hierarchy"] = time.perf_counter() - start
+
+        return PipelineResult(
+            graph=graph,
+            gcn_annotation=gcn_annotation,
+            post1=post1,
+            post2=post2,
+            hierarchy=hierarchy,
+            constraints=constraints,
+            preprocess_report=report,
+            timings=timings,
+        )

@@ -1,0 +1,250 @@
+"""System-level recognition — one level above the paper.
+
+Sec. II-A: "Systems lie at the uppermost level of the hierarchy, and
+may correspond to structures such as RF transceivers, DC-DC converters,
+and a high-speed SerDes system. The effort reported in this paper goes
+up to the level of sub-blocks."  This module is that next level, as the
+paper's structure implies it: recognized sub-blocks become nodes of a
+*block graph* whose directed edges follow signal flow (a net driven by
+one block's drains/sources feeding another block's gates), and simple
+rules over that graph group blocks into systems — e.g. an RF
+**receiver chain** is a mixer fed by an LNA path on one side and an
+oscillator (possibly through buffers) on the other, with optional IF
+amplifiers downstream.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.graph.bipartite import DRAIN_BIT, GATE_BIT, SOURCE_BIT, CircuitGraph
+from repro.spice.netlist import is_power_net
+
+
+@dataclass
+class BlockGraph:
+    """Directed signal-flow graph over recognized sub-block instances."""
+
+    classes: dict[str, str]  # block name → class
+    devices: dict[str, set[str]]  # block name → device names
+    edges: set[tuple[str, str]] = field(default_factory=set)  # driver → receiver
+
+    def predecessors(self, block: str) -> set[str]:
+        return {a for a, b in self.edges if b == block}
+
+    def successors(self, block: str) -> set[str]:
+        return {b for a, b in self.edges if a == block}
+
+    def of_class(self, cls: str) -> list[str]:
+        return sorted(n for n, c in self.classes.items() if c == cls)
+
+
+def build_block_graph(
+    hierarchy: HierarchyNode, graph: CircuitGraph
+) -> BlockGraph:
+    """Derive block-level signal flow from the recognized hierarchy.
+
+    An edge A→B exists when some non-power net is *driven* by A (a
+    drain/source terminal or a passive connection of a device in A) and
+    *received* by B (a gate terminal of a device in B).
+    """
+    blocks = [
+        node
+        for node in hierarchy.children
+        if node.kind in (NodeKind.SUBBLOCK, NodeKind.PRIMITIVE)
+    ]
+    owner: dict[str, str] = {}
+    classes: dict[str, str] = {}
+    devices: dict[str, set[str]] = {}
+    for node in blocks:
+        classes[node.name] = node.block_class.lower()
+        devices[node.name] = node.all_devices()
+        for dev in devices[node.name]:
+            owner[dev] = node.name
+
+    drivers: dict[int, set[str]] = defaultdict(set)
+    receivers: dict[int, set[str]] = defaultdict(set)
+    for edge in graph.edges:
+        dev = graph.elements[edge.element]
+        block = owner.get(dev.name)
+        if block is None or is_power_net(graph.nets[edge.net]):
+            continue
+        if dev.kind.is_transistor:
+            if edge.label & (DRAIN_BIT | SOURCE_BIT):
+                drivers[edge.net].add(block)
+            if edge.label & GATE_BIT:
+                receivers[edge.net].add(block)
+        else:
+            # Passives both drive and receive (they conduct).
+            drivers[edge.net].add(block)
+            receivers[edge.net].add(block)
+
+    block_graph = BlockGraph(classes=classes, devices=devices)
+    for net, driving in drivers.items():
+        for a in driving:
+            for b in receivers.get(net, set()):
+                if a != b:
+                    block_graph.edges.add((a, b))
+    return block_graph
+
+
+#: Classes that belong to a receiver chain around its mixer.
+_RF_UPSTREAM = frozenset({"lna", "bpf"})
+_LO_PATH = frozenset({"osc", "buf"})
+_IF_DOWNSTREAM = frozenset({"inv", "buf"})
+
+
+def _collect_path(
+    block_graph: BlockGraph,
+    start: set[str],
+    allowed: frozenset[str],
+    direction: str,
+) -> set[str]:
+    """Transitively follow predecessors/successors within ``allowed``."""
+    out: set[str] = set()
+    frontier = list(start)
+    step = (
+        block_graph.predecessors if direction == "up" else block_graph.successors
+    )
+    while frontier:
+        current = frontier.pop()
+        if current in out:
+            continue
+        out.add(current)
+        for nxt in step(current):
+            if block_graph.classes.get(nxt) in allowed and nxt not in out:
+                frontier.append(nxt)
+    return out
+
+
+@dataclass(frozen=True)
+class SystemInstance:
+    """One recognized system (e.g. a receiver chain)."""
+
+    name: str
+    system_class: str
+    blocks: tuple[str, ...]
+
+
+def detect_receivers(block_graph: BlockGraph) -> list[SystemInstance]:
+    """RF receiver chains: LNA path → mixer ← LO path (+ IF amps).
+
+    One instance per mixer that has both an upstream LNA/BPF path and
+    an LO feed (oscillator, possibly through buffers).
+    """
+    systems: list[SystemInstance] = []
+    for index, mixer in enumerate(block_graph.of_class("mixer")):
+        preds = block_graph.predecessors(mixer)
+        rf_in = {
+            p for p in preds if block_graph.classes.get(p) in _RF_UPSTREAM
+        }
+        lo_in = {p for p in preds if block_graph.classes.get(p) in _LO_PATH}
+        if not rf_in or not lo_in:
+            continue
+        members = {mixer}
+        members |= _collect_path(block_graph, rf_in, _RF_UPSTREAM, "up")
+        members |= _collect_path(block_graph, lo_in, _LO_PATH | {"osc"}, "up")
+        # Pull in the oscillator behind buffer stages.
+        for block in list(members):
+            if block_graph.classes.get(block) == "buf":
+                for pred in block_graph.predecessors(block):
+                    if block_graph.classes.get(pred) in _LO_PATH:
+                        members |= _collect_path(
+                            block_graph, {pred}, _LO_PATH, "up"
+                        )
+        members |= _collect_path(
+            block_graph,
+            {
+                s
+                for s in block_graph.successors(mixer)
+                if block_graph.classes.get(s) in _IF_DOWNSTREAM
+            },
+            _IF_DOWNSTREAM,
+            "down",
+        )
+        systems.append(
+            SystemInstance(
+                name=f"receiver{index}",
+                system_class="receiver",
+                blocks=tuple(sorted(members)),
+            )
+        )
+    return systems
+
+
+def nest_support_blocks(
+    hierarchy: HierarchyNode,
+    graph: CircuitGraph,
+    support_classes: frozenset[str] = frozenset({"bias"}),
+) -> list[tuple[str, str]]:
+    """Nest support blocks under the single block they serve.
+
+    Sec. II-A: "sub-blocks form multiple levels of the design hierarchy
+    (i.e., some sub-blocks could be contained in others)" — Fig. 1's
+    current reference (with its Little OTA) lives *inside* the Big OTA.
+    A support-class block (bias by default) whose outgoing signal edges
+    all land on one other block is re-parented under that block.
+
+    Returns the (child, parent) moves performed.
+    """
+    block_graph = build_block_graph(hierarchy, graph)
+    by_name = {node.name: node for node in hierarchy.children}
+    moves: list[tuple[str, str]] = []
+    for name, cls in block_graph.classes.items():
+        if cls not in support_classes:
+            continue
+        consumers = {
+            b
+            for b in block_graph.successors(name)
+            if block_graph.classes.get(b) not in support_classes
+        }
+        if len(consumers) != 1:
+            continue
+        (parent,) = consumers
+        child_node = by_name.get(name)
+        parent_node = by_name.get(parent)
+        if child_node is None or parent_node is None:
+            continue
+        hierarchy.children = [
+            c for c in hierarchy.children if c.name != name
+        ]
+        parent_node.add(child_node)
+        moves.append((name, parent))
+    return moves
+
+
+def annotate_systems(
+    hierarchy: HierarchyNode, graph: CircuitGraph
+) -> list[SystemInstance]:
+    """Detect systems and graft them into the hierarchy tree.
+
+    Recognized blocks move under a new SYSTEM node per instance;
+    unclaimed blocks stay direct children of the root.  Returns the
+    instances found.
+    """
+    block_graph = build_block_graph(hierarchy, graph)
+    systems = detect_receivers(block_graph)
+    if not systems:
+        return systems
+
+    by_name = {node.name: node for node in hierarchy.children}
+    claimed: set[str] = set()
+    for system in systems:
+        system_node = HierarchyNode(
+            name=system.name,
+            kind=NodeKind.SYSTEM,
+            block_class=system.system_class,
+        )
+        for block in system.blocks:
+            node = by_name.get(block)
+            if node is not None and block not in claimed:
+                system_node.add(node)
+                claimed.add(block)
+        hierarchy.children = [
+            child for child in hierarchy.children if child.name not in claimed
+        ]
+        hierarchy.add(system_node)
+        by_name[system.name] = system_node
+    return systems

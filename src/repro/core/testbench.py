@@ -1,0 +1,103 @@
+"""Port-label inference from the testbench (Sec. V-A, footnote 2).
+
+Postprocessing II needs to know which nets carry an antenna signal and
+which carry an oscillating one.  The paper: such information "can be
+provided by the designer as a separate label on the port, **or can be
+inferred from the test bench in the input SPICE netlist**".  This
+module is that inference:
+
+* a V/I source with a periodic waveform (``SIN``, ``PULSE``, ``SFFM``)
+  directly driving a net ⇒ that net is **oscillating**;
+* a source coupled through a port resistance (≈50 Ω, the universal RF
+  port convention) ⇒ the far side of the resistor is an **antenna**
+  input;
+* a plain DC source driving only transistor gates ⇒ the net is a
+  **bias** rail (refines the 18-feature net-type slots).
+
+The pipeline applies these automatically when the input deck still
+contains its sources; explicit ``port_labels`` always win.
+"""
+
+from __future__ import annotations
+
+from repro.graph.features import NetRole
+from repro.spice.netlist import (
+    Circuit,
+    DeviceKind,
+    is_ground_net,
+    is_power_net,
+)
+
+#: Waveform model tokens that imply a periodic (oscillating) source.
+OSCILLATING_SHAPES = frozenset({"sin", "pulse", "sffm", "am"})
+
+#: Port resistance range treated as an RF port (antenna) coupling.
+PORT_RESISTANCE = (10.0, 200.0)
+
+
+def _source_net(device) -> str | None:
+    """The signal net a 2-terminal source drives (the non-ground pin)."""
+    pos, neg = device.pin_map["p"], device.pin_map["n"]
+    if is_ground_net(pos):
+        return None if is_ground_net(neg) else neg
+    return pos
+
+
+def infer_port_labels(circuit: Circuit) -> dict[str, str]:
+    """Testbench-derived ``{net: "antenna" | "oscillating"}`` labels.
+
+    Operates on a flat circuit that still contains its V/I sources.
+    """
+    labels: dict[str, str] = {}
+    periodic_nets: set[str] = set()
+    for dev in circuit.devices:
+        if not dev.kind.is_source:
+            continue
+        shape = (dev.model or "").lower()
+        net = _source_net(dev)
+        if net is None:
+            continue
+        if shape in OSCILLATING_SHAPES:
+            periodic_nets.add(net)
+            labels[net] = "oscillating"
+
+    # Antenna detection: a port resistor couples a source net onward.
+    low, high = PORT_RESISTANCE
+    for dev in circuit.devices:
+        if dev.kind is not DeviceKind.RESISTOR:
+            continue
+        if dev.value is None or not (low <= dev.value <= high):
+            continue
+        pos, neg = dev.pin_map["p"], dev.pin_map["n"]
+        for source_side, circuit_side in ((pos, neg), (neg, pos)):
+            if source_side in periodic_nets and not is_power_net(circuit_side):
+                # The RF port: periodic source behind port resistance.
+                labels[circuit_side] = "antenna"
+                labels.pop(source_side, None)
+                periodic_nets.discard(source_side)
+    return labels
+
+
+def infer_net_roles(circuit: Circuit) -> dict[str, NetRole]:
+    """DC-source-driven nets become BIAS-role for the feature builder."""
+    roles: dict[str, NetRole] = {}
+    for dev in circuit.devices:
+        if dev.kind is not DeviceKind.VSOURCE:
+            continue
+        shape = (dev.model or "dc").lower()
+        if shape in OSCILLATING_SHAPES or shape == "ac":
+            continue
+        net = _source_net(dev)
+        if net is not None and not is_power_net(net):
+            roles[net] = NetRole.BIAS
+    return roles
+
+
+def strip_sources(circuit: Circuit) -> Circuit:
+    """Copy of the circuit without V/I source cards (recognition input)."""
+    return Circuit(
+        name=circuit.name,
+        ports=circuit.ports,
+        devices=[d for d in circuit.devices if not d.kind.is_source],
+        instances=list(circuit.instances),
+    )

@@ -1,0 +1,95 @@
+"""Constraint validation against the netlist.
+
+Recognition annotates MATCHING/SYMMETRY/COMMON_CENTROID constraints;
+for layout to honor them, the *netlist* must already satisfy their
+electrical preconditions — matched devices need identical kind and
+geometry, symmetric pairs identical footprints.  This checker verifies
+that, reporting a :class:`Violation` per offending constraint: a lint
+pass between recognition and layout (and a safety net for constraints
+a designer edited by hand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint, ConstraintKind, ConstraintSet
+from repro.spice.netlist import Circuit, Device
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed constraint check."""
+
+    constraint: Constraint
+    message: str
+
+    def __str__(self) -> str:
+        members = ", ".join(self.constraint.members)
+        return f"{self.constraint.kind.value}[{members}]: {self.message}"
+
+
+def _geometry_key(device: Device) -> tuple:
+    """What must agree for devices to 'match' electrically."""
+    if device.kind.is_transistor:
+        return (
+            device.kind,
+            device.model,
+            device.param("w"),
+            device.param("l"),
+            device.param("m", 1.0),
+        )
+    return (device.kind, device.value)
+
+
+def _check_uniform(
+    constraint: Constraint, devices: list[Device]
+) -> Violation | None:
+    keys = {_geometry_key(d) for d in devices}
+    if len(keys) > 1:
+        detail = "; ".join(
+            f"{d.name}={_geometry_key(d)}" for d in devices
+        )
+        return Violation(
+            constraint=constraint,
+            message=f"members differ in kind/geometry: {detail}",
+        )
+    return None
+
+
+def validate_constraints(
+    constraints: ConstraintSet | list[Constraint], circuit: Circuit
+) -> list[Violation]:
+    """Check every device-level constraint against the netlist.
+
+    Constraints whose members are block names (no such device in the
+    circuit) are skipped — block-level geometry is the placer's duty.
+    """
+    by_name = {d.name: d for d in circuit.devices}
+    violations: list[Violation] = []
+    for constraint in constraints:
+        devices = [by_name[m] for m in constraint.members if m in by_name]
+        if len(devices) < 2:
+            continue  # block-level or single-member: nothing to compare
+        if constraint.kind in (
+            ConstraintKind.MATCHING,
+            ConstraintKind.COMMON_CENTROID,
+        ):
+            violation = _check_uniform(constraint, devices)
+            if violation:
+                violations.append(violation)
+        elif constraint.kind is ConstraintKind.SYMMETRY:
+            members = [m for m in constraint.members if m in by_name]
+            for i in range(0, len(members) - 1, 2):
+                a, b = by_name[members[i]], by_name[members[i + 1]]
+                if _geometry_key(a) != _geometry_key(b):
+                    violations.append(
+                        Violation(
+                            constraint=constraint,
+                            message=(
+                                f"symmetric pair {a.name}/{b.name} differs: "
+                                f"{_geometry_key(a)} vs {_geometry_key(b)}"
+                            ),
+                        )
+                    )
+    return violations

@@ -1,0 +1,68 @@
+"""Parametric analog-circuit dataset generators (Table I substitutes)."""
+
+from repro.datasets.components import (
+    CircuitBuilder,
+    LabeledCircuit,
+    derive_net_labels,
+)
+from repro.datasets.ota import OTA_CLASSES, OtaSpec, generate_ota, ota_variants
+from repro.datasets.rf import (
+    RF_CLASSES,
+    RF_EXTENDED_CLASSES,
+    ReceiverSpec,
+    generate_receiver,
+    generate_single_block,
+    receiver_variants,
+)
+from repro.datasets.synth import (
+    DatasetSummary,
+    build_samples,
+    generate_ota_bias_dataset,
+    generate_ota_test_set,
+    generate_rf_dataset,
+    generate_rf_test_set,
+    pretrain_annotator,
+    summarize,
+    task_classes,
+)
+from repro.datasets.perturb import (
+    add_decaps,
+    add_dummies,
+    perturb_all,
+    split_parallel,
+    stack_series,
+)
+from repro.datasets.systems import phased_array, sample_and_hold, switched_cap_filter
+
+__all__ = [
+    "CircuitBuilder",
+    "DatasetSummary",
+    "LabeledCircuit",
+    "OTA_CLASSES",
+    "OtaSpec",
+    "RF_CLASSES",
+    "RF_EXTENDED_CLASSES",
+    "ReceiverSpec",
+    "build_samples",
+    "derive_net_labels",
+    "generate_ota",
+    "generate_ota_bias_dataset",
+    "generate_ota_test_set",
+    "generate_receiver",
+    "generate_rf_dataset",
+    "generate_rf_test_set",
+    "generate_single_block",
+    "ota_variants",
+    "add_decaps",
+    "add_dummies",
+    "perturb_all",
+    "phased_array",
+    "split_parallel",
+    "stack_series",
+    "pretrain_annotator",
+    "receiver_variants",
+    "sample_and_hold",
+    "summarize",
+    "switched_cap_filter",
+    "task_classes",
+]

@@ -1,0 +1,337 @@
+"""Parametric OTA + bias-network generators (the "OTA bias" dataset).
+
+The paper's OTA training/test sets contain "multiple OTA configurations
+with appropriate signal and bias subcircuit labels".  This module
+generates the same family synthetically: seven topology families
+(five-transistor, telescopic cascode, folded cascode, symmetric,
+two-stage Miller, fully-differential with SC-CMFB, and PMOS-input
+duals), each paired with a parameterized bias network, under seeded
+sizing/variant randomization.
+
+Every generated circuit keeps signal and bias circuitry in separate
+channel-connected components (they touch only through gate nets), the
+property Postprocessing I depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.components import GND, VDD, CircuitBuilder, LabeledCircuit
+from repro.exceptions import DatasetError
+from repro.utils.rng import seeded_rng
+
+OTA_CLASSES = ("ota", "bias")
+
+TOPOLOGIES = (
+    "five_transistor",
+    "telescopic",
+    "folded_cascode",
+    "symmetric",
+    "two_stage",
+    "fully_differential",
+    "class_ab",
+)
+
+
+BIAS_STYLES = ("simple", "beta_multiplier", "buffered")
+LOAD_STYLES = ("mirror", "resistor")
+
+
+@dataclass(frozen=True)
+class OtaSpec:
+    """One point in the OTA variant space.
+
+    ``bias_style`` and ``load`` inject the *structural ambiguity* real
+    designs have: a beta-multiplier reference contains mirror pairs
+    that look exactly like OTA loads, and a resistor-loaded input pair
+    looks locally like a resistor-programmed current reference — the
+    GCN must use wider context to tell them apart.
+    """
+
+    topology: str = "five_transistor"
+    polarity: str = "n"  # input-pair polarity: "n" | "p"
+    bias_style: str = "simple"
+    load: str = "mirror"  # five_transistor/two_stage first-stage load
+    bias_mirror_outputs: int = 1  # extra distribution branches (0–3)
+    bias_cascode: bool = False  # cascode the bias distribution mirror
+    with_load_caps: bool = True
+    with_input_buffer: bool = False  # source-follower drivers at inputs
+    with_sc_input: bool = False  # switched-capacitor sampling network
+    size_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise DatasetError(f"unknown OTA topology {self.topology!r}")
+        if self.polarity not in ("n", "p"):
+            raise DatasetError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.bias_style not in BIAS_STYLES:
+            raise DatasetError(f"unknown bias style {self.bias_style!r}")
+        if self.load not in LOAD_STYLES:
+            raise DatasetError(f"unknown load style {self.load!r}")
+
+
+def _rails(polarity: str) -> tuple[str, str]:
+    """(tail rail, load rail) for the given input polarity."""
+    return (GND, VDD) if polarity == "n" else (VDD, GND)
+
+
+def _bias_network(
+    b: CircuitBuilder, spec: OtaSpec, rng
+) -> tuple[str, str]:
+    """Current reference + distribution mirrors; returns (nbn, nbp).
+
+    All devices labeled "bias".  The network touches the signal path
+    only through the gate nets it produces.  Net names are deliberately
+    neutral (``nb1``/``nbp``/``ntap*``): the paper's bias-signal net
+    feature comes from designer/testbench annotation, so the GCN must
+    learn bias-ness from *structure*, not from telltale names.
+    """
+    nbn = "nb1"
+    nbp = "nbp"
+    if spec.bias_style == "beta_multiplier":
+        # Self-biased beta multiplier: NMOS mirror pair against a PMOS
+        # mirror pair with a degeneration resistor — structurally a
+        # dead ringer for an input pair with mirror loads.
+        b.nmos(b.fresh("mbias"), d=nbn, g=nbn, s=GND, label="bias")
+        b.nmos(b.fresh("mbias"), d=nbp, g=nbn, s="nbx", label="bias")
+        b.resistor(b.fresh("rbias"), p="nbx", n=GND, value=20e3, label="bias")
+        b.pmos(b.fresh("mbias"), d=nbp, g=nbp, s=VDD, label="bias")
+        b.pmos(b.fresh("mbias"), d=nbn, g=nbp, s=VDD, label="bias")
+    else:
+        # Resistor-programmed reference sets the NMOS bias rail.
+        b.current_reference(ref=nbn, polarity="n", label="bias")
+        # An NMOS mirror leg pulls current through a PMOS diode for the
+        # PMOS bias rail.
+        b.nmos(b.fresh("mbias"), d=nbp, g=nbn, s=GND, label="bias")
+        b.pmos(b.fresh("mbias"), d=nbp, g=nbp, s=VDD, label="bias")
+    # Optional extra distribution branches (each feeding a PMOS diode,
+    # a realistic multi-tap bias tree).  Branches always mirror off the
+    # diode rail, buffered or not.
+    for branch in range(spec.bias_mirror_outputs):
+        tap = f"ntap{branch}"
+        if spec.bias_cascode:
+            b.cascode_mirror(ref=nbn, out=tap, rail=GND, polarity="n", label="bias")
+        else:
+            b.nmos(b.fresh("mbias"), d=tap, g=nbn, s=GND, label="bias")
+        b.pmos(b.fresh("mbias"), d=tap, g=tap, s=VDD, label="bias")
+    if spec.bias_style == "buffered":
+        # A source-follower tap buffers the bias rail — the same local
+        # structure as an OTA's input buffer.
+        b.nmos(b.fresh("mbias"), d=VDD, g=nbn, s="nbuf", label="bias")
+        b.resistor(b.fresh("rbias"), p="nbuf", n=GND, value=50e3, label="bias")
+    return nbn, nbp
+
+
+def _tail(b: CircuitBuilder, spec: OtaSpec, tail_net: str, vb: str, rng) -> None:
+    """Tail current device(s); labeled "ota" (part of the signal CCC)."""
+    rail, _ = _rails(spec.polarity)
+    add = b.nmos if spec.polarity == "n" else b.pmos
+    w = float(rng.choice([1e-6, 2e-6, 4e-6]))
+    add(b.fresh("mtail"), d=tail_net, g=vb, s=rail, w=w, label="ota")
+
+
+def _input_buffers(
+    b: CircuitBuilder, spec: OtaSpec, inp: str, inn: str
+) -> tuple[str, str]:
+    """Optional source-follower input drivers (label "ota")."""
+    if not spec.with_input_buffer:
+        return inp, inn
+    binp, binn = "vinp_b", "vinn_b"
+    b.nmos(b.fresh("mbuf"), d=VDD, g=inp, s=binp, label="ota")
+    b.nmos(b.fresh("mbuf"), d=VDD, g=inn, s=binn, label="ota")
+    return binp, binn
+
+
+def generate_ota(spec: OtaSpec, name: str = "") -> LabeledCircuit:
+    """Generate one labeled OTA + bias circuit from a spec."""
+    rng = seeded_rng(("ota", spec))
+    name = name or f"ota_{spec.topology}_{spec.polarity}_{spec.size_seed}"
+    b = CircuitBuilder(name, ports=("vinp", "vinn", "vout", VDD, GND))
+
+    vbn, vbp = _bias_network(b, spec, rng)
+    tail_bias = vbn if spec.polarity == "n" else vbp
+    load_bias = vbp if spec.polarity == "n" else vbn
+
+    inp, inn = _input_buffers(b, spec, "vinp", "vinn")
+    w_in = float(rng.choice([2e-6, 4e-6, 8e-6]))
+    w_load = float(rng.choice([2e-6, 4e-6, 8e-6]))
+    tail_rail, load_rail = _rails(spec.polarity)
+    load_pol = "p" if spec.polarity == "n" else "n"
+
+    def _first_stage_load(out1: str, out2: str) -> None:
+        """Mirror or resistor load for the simple topologies."""
+        if spec.load == "resistor":
+            value = float(rng.choice([5e3, 10e3, 20e3]))
+            b.resistor(b.fresh("rload"), p=load_rail, n=out1, value=value, label="ota")
+            b.resistor(b.fresh("rload"), p=load_rail, n=out2, value=value, label="ota")
+        else:
+            b.current_mirror(
+                ref=out1, outs=(out2,), rail=load_rail, polarity=load_pol,
+                w=w_load, label="ota",
+            )
+
+    topology = spec.topology
+    if topology == "five_transistor":
+        b.diff_pair(
+            inp=inp, inn=inn, out1="n1", out2="vout", tail="tail",
+            polarity=spec.polarity, w=w_in, label="ota",
+        )
+        _first_stage_load("n1", "vout")
+        _tail(b, spec, "tail", tail_bias, rng)
+
+    elif topology == "telescopic":
+        add_in = b.nmos if spec.polarity == "n" else b.pmos
+        add_load = b.pmos if spec.polarity == "n" else b.nmos
+        b.diff_pair(
+            inp=inp, inn=inn, out1="x1", out2="x2", tail="tail",
+            polarity=spec.polarity, w=w_in, label="ota",
+        )
+        # Input-side cascodes.
+        add_in(b.fresh("mcas"), d="y1", g=load_bias, s="x1", label="ota")
+        add_in(b.fresh("mcas"), d="vout", g=load_bias, s="x2", label="ota")
+        # Cascoded mirror load.
+        add_load(b.fresh("mld"), d="z1", g="y1", s=load_rail, w=w_load, label="ota")
+        add_load(b.fresh("mld"), d="z2", g="y1", s=load_rail, w=w_load, label="ota")
+        add_load(b.fresh("mld"), d="y1", g=tail_bias, s="z1", label="ota")
+        add_load(b.fresh("mld"), d="vout", g=tail_bias, s="z2", label="ota")
+        _tail(b, spec, "tail", tail_bias, rng)
+
+    elif topology == "folded_cascode":
+        fold_pol = load_pol
+        b.diff_pair(
+            inp=inp, inn=inn, out1="f1", out2="f2", tail="tail",
+            polarity=spec.polarity, w=w_in, label="ota",
+        )
+        add_fold = b.nmos if fold_pol == "n" else b.pmos
+        fold_rail = GND if fold_pol == "n" else VDD
+        # Folding current sources at the fold nodes.
+        add_fold(b.fresh("mfs"), d="f1", g=load_bias, s=fold_rail, label="ota")
+        add_fold(b.fresh("mfs"), d="f2", g=load_bias, s=fold_rail, label="ota")
+        # Cascode devices from fold nodes to the outputs.
+        add_fold(b.fresh("mcas"), d="o1", g=load_bias, s="f1", label="ota")
+        add_fold(b.fresh("mcas"), d="vout", g=load_bias, s="f2", label="ota")
+        # Mirror at the opposite rail closes the loads.
+        opp_pol = "p" if fold_pol == "n" else "n"
+        opp_rail = VDD if fold_pol == "n" else GND
+        b.current_mirror(
+            ref="o1", outs=("vout",), rail=opp_rail, polarity=opp_pol,
+            w=w_load, label="ota",
+        )
+        _tail(b, spec, "tail", tail_bias, rng)
+
+    elif topology == "symmetric":
+        add_load = b.pmos if spec.polarity == "n" else b.nmos
+        b.diff_pair(
+            inp=inp, inn=inn, out1="d1", out2="d2", tail="tail",
+            polarity=spec.polarity, w=w_in, label="ota",
+        )
+        # Diode loads mirrored to the output branches.
+        b.current_mirror(
+            ref="d1", outs=("voutn",), rail=load_rail, polarity=load_pol,
+            w=w_load, label="ota",
+        )
+        b.current_mirror(
+            ref="d2", outs=("vout",), rail=load_rail, polarity=load_pol,
+            w=w_load, label="ota",
+        )
+        # Output mirror at the tail rail folds voutn onto vout.
+        b.current_mirror(
+            ref="voutn", outs=("vout",), rail=tail_rail,
+            polarity=spec.polarity, label="ota",
+        )
+        _tail(b, spec, "tail", tail_bias, rng)
+
+    elif topology == "two_stage":
+        b.diff_pair(
+            inp=inp, inn=inn, out1="n1", out2="vo1", tail="tail",
+            polarity=spec.polarity, w=w_in, label="ota",
+        )
+        _first_stage_load("n1", "vo1")
+        _tail(b, spec, "tail", tail_bias, rng)
+        # Second stage: common-source amplifier + current-source load.
+        add_cs = b.pmos if spec.polarity == "n" else b.nmos
+        add_ld = b.nmos if spec.polarity == "n" else b.pmos
+        add_cs(b.fresh("mcs"), d="vout", g="vo1", s=load_rail, w=2 * w_in, label="ota")
+        add_ld(b.fresh("mcsl"), d="vout", g=tail_bias, s=tail_rail, label="ota")
+        # Miller compensation with zero-nulling resistor (CC-RC).
+        b.rc_compensation(a="vo1", b="vout", label="ota")
+
+    elif topology == "fully_differential":
+        add_load = b.pmos if spec.polarity == "n" else b.nmos
+        b.diff_pair(
+            inp=inp, inn=inn, out1="voutn", out2="vout", tail="tail",
+            polarity=spec.polarity, w=w_in, label="ota",
+        )
+        # Current-source loads biased from the CMFB node.
+        add_load(b.fresh("mld"), d="voutn", g="cmfb", s=load_rail, w=w_load, label="ota")
+        add_load(b.fresh("mld"), d="vout", g="cmfb", s=load_rail, w=w_load, label="ota")
+        # Switched-capacitor CMFB sensor (matches CMF-SC).
+        b.capacitor(p="voutn", n="cmfb", value=0.5e-12, label="ota")
+        b.capacitor(p="vout", n="cmfb", value=0.5e-12, label="ota")
+        _tail(b, spec, "tail", tail_bias, rng)
+
+    elif topology == "class_ab":
+        # Complementary input pairs push-pull into shared outputs —
+        # the power-efficient class-AB OTAs of the paper's ref [21].
+        b.diff_pair(
+            inp=inp, inn=inn, out1="voutn", out2="vout", tail="tailn",
+            polarity="n", w=w_in, label="ota",
+        )
+        b.diff_pair(
+            inp=inp, inn=inn, out1="voutn", out2="vout", tail="tailp",
+            polarity="p", w=2 * w_in, label="ota",
+        )
+        add_n = b.nmos
+        add_p = b.pmos
+        add_n(b.fresh("mtail"), d="tailn", g=vbn, s=GND, label="ota")
+        add_p(b.fresh("mtail"), d="tailp", g=vbp, s=VDD, label="ota")
+
+    else:  # pragma: no cover — guarded by OtaSpec validation
+        raise DatasetError(f"unhandled topology {topology!r}")
+
+    if spec.with_load_caps:
+        value = float(rng.choice([0.2e-12, 1e-12, 5e-12]))
+        b.capacitor(p="vout", n=GND, value=value, label="ota")
+
+    if spec.with_sc_input:
+        # Switched-capacitor sampling branch at the input — textbook
+        # switched-cap OTA configurations put switch/cap structures in
+        # the signal path, which is what lets the GCN recognize the SC
+        # network of the composite filter testcase as "ota".
+        n_units = int(rng.integers(1, 3))
+        phi1, phi2 = "phi1", "phi2"
+        for unit in range(n_units):
+            top = f"sc{unit}_t"
+            bot = f"sc{unit}_b"
+            b.nmos(b.fresh("msw"), d="vin_raw", g=phi1, s=top, w=0.5e-6, label="ota")
+            b.capacitor(p=top, n=bot, value=0.8e-12, label="ota")
+            b.nmos(b.fresh("msw"), d=bot, g=phi1, s=GND, w=0.5e-6, label="ota")
+            b.nmos(b.fresh("msw"), d=top, g=phi2, s=GND, w=0.5e-6, label="ota")
+            b.nmos(b.fresh("msw"), d=bot, g=phi2, s="vinp", w=0.5e-6, label="ota")
+
+    return b.finish(class_names=OTA_CLASSES)
+
+
+def ota_variants(n: int, seed: object = "ota-train") -> list[OtaSpec]:
+    """Sample ``n`` distinct-ish specs covering the variant space."""
+    rng = seeded_rng(seed)
+    specs: list[OtaSpec] = []
+    for index in range(n):
+        specs.append(
+            OtaSpec(
+                topology=str(rng.choice(TOPOLOGIES)),
+                polarity=str(rng.choice(["n", "p"])),
+                bias_style=str(
+                    rng.choice(BIAS_STYLES, p=[0.5, 0.3, 0.2])
+                ),
+                load=str(rng.choice(LOAD_STYLES, p=[0.75, 0.25])),
+                bias_mirror_outputs=int(rng.integers(0, 4)),
+                bias_cascode=bool(rng.random() < 0.25),
+                with_load_caps=bool(rng.random() < 0.8),
+                with_input_buffer=bool(rng.random() < 0.2),
+                with_sc_input=bool(rng.random() < 0.3),
+                size_seed=index,
+            )
+        )
+    return specs

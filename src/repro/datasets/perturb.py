@@ -1,0 +1,156 @@
+"""Layout-style netlist perturbations (the noise preprocessing removes).
+
+Sec. II-B: preprocessing "identifies netlist features that help
+performance but do not affect functionality …, e.g., parallel
+transistors for sizing, series transistors for large transistor
+lengths, dummies, decaps."  These functions *inject* exactly those
+features into a clean circuit, so tests and the robustness benchmark
+can verify that recognition through
+:func:`repro.spice.preprocess.preprocess` is invariant to them.
+
+All perturbations preserve electrical function and ground-truth labels
+(injected devices inherit the label of the device they decorate, or
+none for decaps/dummies, which preprocessing removes outright).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.datasets.components import GND, VDD, LabeledCircuit
+from repro.spice.netlist import Circuit, Device, DeviceKind, make_mos, make_passive
+from repro.utils.rng import seeded_rng
+
+
+def split_parallel(
+    item: LabeledCircuit, fraction: float = 0.4, seed: object = 0
+) -> LabeledCircuit:
+    """Split a fraction of transistors into two parallel halves.
+
+    ``m`` halves on each copy (total drive unchanged); preprocessing
+    merges them back into one device.
+    """
+    rng = seeded_rng(("parallel", seed, item.name))
+    devices: list[Device] = []
+    labels = dict(item.device_labels)
+    for dev in item.circuit.devices:
+        if dev.kind.is_transistor and rng.random() < fraction:
+            m = dev.param("m", 1.0) or 1.0
+            params = tuple(
+                (k, m / 2.0 if k == "m" else v) for k, v in dev.params
+            )
+            if "m" not in {k for k, _ in params}:
+                params = params + (("m", m / 2.0),)
+            half_a = replace(dev, params=params)
+            half_b = replace(dev, name=f"{dev.name}__p2", params=params)
+            devices.extend([half_a, half_b])
+            if dev.name in labels:
+                labels[half_b.name] = labels[dev.name]
+        else:
+            devices.append(dev)
+    return _rebuild(item, devices, labels)
+
+
+def stack_series(
+    item: LabeledCircuit, fraction: float = 0.3, seed: object = 0
+) -> LabeledCircuit:
+    """Replace a fraction of transistors by two half-length in series.
+
+    The intermediate net is private to the stack, so preprocessing's
+    series merge collapses it back.
+    """
+    rng = seeded_rng(("series", seed, item.name))
+    devices: list[Device] = []
+    labels = dict(item.device_labels)
+    for dev in item.circuit.devices:
+        if dev.kind.is_transistor and rng.random() < fraction:
+            length = dev.param("l", 100e-9) or 100e-9
+            params = tuple(
+                (k, length / 2.0 if k == "l" else v) for k, v in dev.params
+            )
+            mid = f"{dev.name}__mid"
+            pins = dev.pin_map
+            top = replace(
+                dev,
+                pins=(
+                    ("d", pins["d"]), ("g", pins["g"]),
+                    ("s", mid), ("b", pins["b"]),
+                ),
+                params=params,
+            )
+            bottom = replace(
+                dev,
+                name=f"{dev.name}__s2",
+                pins=(
+                    ("d", mid), ("g", pins["g"]),
+                    ("s", pins["s"]), ("b", pins["b"]),
+                ),
+                params=params,
+            )
+            devices.extend([top, bottom])
+            if dev.name in labels:
+                labels[bottom.name] = labels[dev.name]
+        else:
+            devices.append(dev)
+    return _rebuild(item, devices, labels)
+
+
+def add_dummies(
+    item: LabeledCircuit, count: int = 3, seed: object = 0
+) -> LabeledCircuit:
+    """Sprinkle off-state dummy transistors (matching fill).
+
+    Dummies carry no label — preprocessing deletes them before any
+    labeled vertex exists.
+    """
+    rng = seeded_rng(("dummies", seed, item.name))
+    devices = list(item.circuit.devices)
+    nets = [n for n in item.circuit.nets]
+    for i in range(count):
+        anchor = str(rng.choice(nets)) if nets else GND
+        devices.append(
+            make_mos(
+                f"mdummy{i}", DeviceKind.NMOS,
+                drain=anchor, gate=GND, source=GND,
+                w=0.5e-6,
+            )
+        )
+    return _rebuild(item, devices, dict(item.device_labels))
+
+
+def add_decaps(
+    item: LabeledCircuit, count: int = 2, seed: object = 0
+) -> LabeledCircuit:
+    """Add supply decoupling capacitors (removed by preprocessing)."""
+    rng = seeded_rng(("decaps", seed, item.name))
+    devices = list(item.circuit.devices)
+    for i in range(count):
+        value = float(rng.choice([5e-12, 10e-12, 20e-12]))
+        devices.append(
+            make_passive(f"cdecap{i}", DeviceKind.CAPACITOR, VDD, GND, value)
+        )
+    return _rebuild(item, devices, dict(item.device_labels))
+
+
+def perturb_all(item: LabeledCircuit, seed: object = 0) -> LabeledCircuit:
+    """Apply every perturbation class in sequence."""
+    out = split_parallel(item, seed=seed)
+    out = stack_series(out, seed=seed)
+    out = add_dummies(out, seed=seed)
+    out = add_decaps(out, seed=seed)
+    return out
+
+
+def _rebuild(
+    item: LabeledCircuit, devices: list[Device], labels: dict[str, str]
+) -> LabeledCircuit:
+    circuit = Circuit(
+        name=item.circuit.name, ports=item.circuit.ports, devices=devices
+    )
+    return LabeledCircuit(
+        name=item.name,
+        circuit=circuit,
+        device_labels=labels,
+        class_names=item.class_names,
+        port_labels=dict(item.port_labels),
+    )

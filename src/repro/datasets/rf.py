@@ -1,0 +1,338 @@
+"""Parametric RF block and receiver generators (the "RF data" dataset).
+
+Generates LNAs, mixers, and oscillators in several topology families
+each, plus band-pass filters, buffers and inverter amplifiers for the
+phased-array system, and assembles them into receivers "that combine
+various LNAs, mixers, and oscillators" as the paper's RF test set does.
+
+Block boundaries are gate-coupled (blocks exchange signals through
+transistor gates, never through shared source/drain nets), so each
+block is its own channel-connected component — the structure
+Postprocessing I and II exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.components import GND, VDD, CircuitBuilder, LabeledCircuit
+from repro.exceptions import DatasetError
+from repro.utils.rng import seeded_rng
+
+RF_CLASSES = ("lna", "mixer", "osc")
+#: Extended vocabulary for system-level testcases (phased array).
+RF_EXTENDED_CLASSES = ("lna", "mixer", "osc", "bpf", "buf", "inv")
+
+#: "tuned" variants put LC tanks inside LNAs and mixers — the
+#: structural ambiguity that keeps tank-spotting from being a shortcut
+#: for the oscillator class.
+LNA_TOPOLOGIES = (
+    "inductive_degeneration",
+    "common_gate",
+    "shunt_feedback",
+    "tuned_cs",
+    "differential",
+)
+MIXER_TOPOLOGIES = ("single_balanced", "double_balanced", "tuned_single_balanced")
+OSC_TOPOLOGIES = ("lc_nmos", "lc_cmos", "ring", "colpitts")
+
+
+# ---------------------------------------------------------------------------
+# Individual blocks.  Each *_into function adds one block to a builder,
+# wiring it between the given nets, and labels every device.
+# ---------------------------------------------------------------------------
+
+
+def add_lna(
+    b: CircuitBuilder,
+    *,
+    rf_in: str,
+    rf_out: str,
+    topology: str = "inductive_degeneration",
+    stages: int = 1,
+    prefix: str = "",
+    rng=None,
+    label: str = "lna",
+) -> None:
+    """Low-noise amplifier between ``rf_in`` and ``rf_out``."""
+    rng = rng if rng is not None else seeded_rng(("lna", prefix))
+    if topology not in LNA_TOPOLOGIES:
+        raise DatasetError(f"unknown LNA topology {topology!r}")
+    current_in = rf_in
+    for stage in range(stages):
+        out = rf_out if stage == stages - 1 else f"{prefix}lna_s{stage}"
+        if topology == "inductive_degeneration":
+            gate = f"{prefix}lg{stage}"
+            src = f"{prefix}ls{stage}"
+            b.inductor(p=current_in, n=gate, value=2e-9, label=label)
+            b.inductor(p=src, n=GND, value=0.5e-9, label=label)
+            cas = f"{prefix}lc{stage}"
+            b.nmos(b.fresh(f"{prefix}mlna"), d=cas, g=gate, s=src, label=label)
+            b.nmos(
+                b.fresh(f"{prefix}mlna"), d=out, g="vb_lna", s=cas, label=label
+            )
+            b.inductor(p=VDD, n=out, value=3e-9, label=label)
+        elif topology == "common_gate":
+            b.nmos(
+                b.fresh(f"{prefix}mlna"), d=out, g="vb_lna", s=current_in,
+                label=label,
+            )
+            b.inductor(p=current_in, n=GND, value=1e-9, label=label)
+            b.resistor(p=VDD, n=out, value=600.0, label=label)
+        elif topology == "shunt_feedback":
+            b.nmos(
+                b.fresh(f"{prefix}mlna"), d=out, g=current_in, s=GND, label=label
+            )
+            b.resistor(p=current_in, n=out, value=20e3, label=label)
+            b.resistor(p=VDD, n=out, value=1e3, label=label)
+        elif topology == "tuned_cs":  # CS stage with an LC-tank load
+            b.nmos(
+                b.fresh(f"{prefix}mlna"), d=out, g=current_in, s=GND, label=label
+            )
+            b.inductor(p=VDD, n=out, value=3e-9, label=label)
+            b.capacitor(p=VDD, n=out, value=0.5e-12, label=label)
+        else:  # differential: DP with degeneration + tank loads
+            outn = f"{prefix}lnan{stage}"
+            tail = f"{prefix}lnat{stage}"
+            b.nmos(
+                b.fresh(f"{prefix}mlna"), d=out, g=current_in, s=tail, label=label
+            )
+            b.nmos(
+                b.fresh(f"{prefix}mlna"), d=outn, g="vcm_lna", s=tail, label=label
+            )
+            b.inductor(p=tail, n=GND, value=0.5e-9, label=label)
+            b.inductor(p=VDD, n=out, value=3e-9, label=label)
+            b.inductor(p=VDD, n=outn, value=3e-9, label=label)
+        current_in = out
+
+
+def add_mixer(
+    b: CircuitBuilder,
+    *,
+    rf_in: str,
+    lo: str,
+    lo_bar: str | None,
+    if_out: str,
+    topology: str = "single_balanced",
+    prefix: str = "",
+    rng=None,
+    label: str = "mixer",
+) -> None:
+    """Active mixer: RF transconductor + LO switching quad + IF loads."""
+    rng = rng if rng is not None else seeded_rng(("mixer", prefix))
+    if topology not in MIXER_TOPOLOGIES:
+        raise DatasetError(f"unknown mixer topology {topology!r}")
+    lo_bar = lo_bar or lo
+    if_bar = f"{prefix}ifn"
+    if topology in ("single_balanced", "tuned_single_balanced"):
+        tail = f"{prefix}mx_t"
+        b.nmos(b.fresh(f"{prefix}mmx"), d=tail, g=rf_in, s=GND, label=label)
+        b.nmos(b.fresh(f"{prefix}mmx"), d=if_out, g=lo, s=tail, label=label)
+        b.nmos(b.fresh(f"{prefix}mmx"), d=if_bar, g=lo_bar, s=tail, label=label)
+        if topology == "tuned_single_balanced":
+            # Tank IF loads: an LC tank inside a *mixer*.
+            b.inductor(p=VDD, n=if_out, value=4e-9, label=label)
+            b.capacitor(p=VDD, n=if_out, value=1e-12, label=label)
+            b.inductor(p=VDD, n=if_bar, value=4e-9, label=label)
+            b.capacitor(p=VDD, n=if_bar, value=1e-12, label=label)
+        else:
+            b.resistor(p=VDD, n=if_out, value=1e3, label=label)
+            b.resistor(p=VDD, n=if_bar, value=1e3, label=label)
+    else:  # double balanced (Gilbert cell)
+        t1, t2 = f"{prefix}mx_t1", f"{prefix}mx_t2"
+        rf_bar = f"{prefix}rfb"
+        # Transconductor pair (single-ended drive: rf_bar is AC ground
+        # through a bias resistor).
+        b.nmos(b.fresh(f"{prefix}mmx"), d=t1, g=rf_in, s=f"{prefix}mx_s", label=label)
+        b.nmos(b.fresh(f"{prefix}mmx"), d=t2, g=rf_bar, s=f"{prefix}mx_s", label=label)
+        b.resistor(p=rf_bar, n=GND, value=10e3, label=label)
+        b.nmos(b.fresh(f"{prefix}mmx"), d=f"{prefix}mx_s", g="vb_mx", s=GND, label=label)
+        # Switching quad.
+        b.nmos(b.fresh(f"{prefix}mmx"), d=if_out, g=lo, s=t1, label=label)
+        b.nmos(b.fresh(f"{prefix}mmx"), d=if_bar, g=lo_bar, s=t1, label=label)
+        b.nmos(b.fresh(f"{prefix}mmx"), d=if_bar, g=lo, s=t2, label=label)
+        b.nmos(b.fresh(f"{prefix}mmx"), d=if_out, g=lo_bar, s=t2, label=label)
+        b.resistor(p=VDD, n=if_out, value=1e3, label=label)
+        b.resistor(p=VDD, n=if_bar, value=1e3, label=label)
+
+
+def add_oscillator(
+    b: CircuitBuilder,
+    *,
+    outp: str,
+    outn: str,
+    topology: str = "lc_nmos",
+    stages: int = 3,
+    prefix: str = "",
+    rng=None,
+    label: str = "osc",
+) -> None:
+    """Oscillator producing a differential (or ring) output."""
+    rng = rng if rng is not None else seeded_rng(("osc", prefix))
+    if topology not in OSC_TOPOLOGIES:
+        raise DatasetError(f"unknown oscillator topology {topology!r}")
+    if topology == "lc_nmos":
+        tail = f"{prefix}osc_t"
+        b.cross_coupled_pair(d1=outp, d2=outn, s=tail, polarity="n", label=label)
+        b.lc_tank(a=outp, b=outn, label=label)
+        b.nmos(b.fresh(f"{prefix}mosc"), d=tail, g="vb_osc", s=GND, label=label)
+    elif topology == "lc_cmos":
+        tail = f"{prefix}osc_t"
+        b.cross_coupled_pair(d1=outp, d2=outn, s=tail, polarity="n", label=label)
+        b.cross_coupled_pair(d1=outp, d2=outn, s=VDD, polarity="p", label=label)
+        b.lc_tank(a=outp, b=outn, label=label)
+        b.nmos(b.fresh(f"{prefix}mosc"), d=tail, g="vb_osc", s=GND, label=label)
+    elif topology == "colpitts":
+        # Single-device Colpitts: inductor to the rail, capacitive
+        # divider feeding the source — an oscillator with *no*
+        # cross-coupled pair (exercises recognition beyond the CC cue).
+        # The divider midpoint doubles as the inverted output so the
+        # whole oscillator stays one channel-connected component.
+        b.inductor(p=VDD, n=outp, value=3e-9, label=label)
+        b.capacitor(p=outp, n=outn, value=2e-12, label=label)
+        b.capacitor(p=outn, n=GND, value=2e-12, label=label)
+        b.nmos(b.fresh(f"{prefix}mosc"), d=outp, g="vb_osc", s=outn, label=label)
+        b.nmos(b.fresh(f"{prefix}mosc"), d=outn, g="vb_osc2", s=GND, label=label)
+    else:  # ring
+        if stages % 2 == 0:
+            stages += 1  # rings need odd inversion count
+        # A resistively-loaded NMOS ring keeps every stage in one CCC
+        # is NOT what we want; classic CMOS inverter rings are
+        # gate-coupled, so couple stages through shared load resistors
+        # instead: each stage is an NMOS CS amp whose drain feeds the
+        # next gate, all drains tied to VDD through resistors.  The
+        # stage devices share no source/drain nets, so the ring forms
+        # several CCCs; to keep the oscillator one recognizable block,
+        # add a shared tail bus.
+        bus = f"{prefix}osc_bus"
+        nets = [outp] + [f"{prefix}osc_r{i}" for i in range(stages - 2)] + [outn]
+        for i in range(stages):
+            inp = nets[i - 1]
+            out = nets[i]
+            b.nmos(b.fresh(f"{prefix}mosc"), d=out, g=inp, s=bus, label=label)
+            b.resistor(p=VDD, n=out, value=2e3, label=label)
+        b.nmos(b.fresh(f"{prefix}mosc"), d=bus, g="vb_osc", s=GND, label=label)
+
+
+def add_bpf(
+    b: CircuitBuilder,
+    *,
+    inp: str,
+    inn: str | None,
+    outp: str,
+    outn: str,
+    prefix: str = "",
+    label: str = "bpf",
+) -> None:
+    """Q-enhanced band-pass filter: an "oscillator with two input
+    transistors" (exactly how the paper's Post-I describes it)."""
+    tail = f"{prefix}bpf_t"
+    b.cross_coupled_pair(d1=outp, d2=outn, s=tail, polarity="n", label=label)
+    b.lc_tank(a=outp, b=outn, label=label)
+    b.nmos(b.fresh(f"{prefix}mbpf"), d=tail, g="vb_bpf", s=GND, label=label)
+    # Input transistors inject the signal into the tank.
+    inn = inn or inp
+    b.nmos(b.fresh(f"{prefix}mbpf"), d=outp, g=inp, s=GND, label=label)
+    b.nmos(b.fresh(f"{prefix}mbpf"), d=outn, g=inn, s=GND, label=label)
+
+
+def add_vco_buffer(
+    b: CircuitBuilder, *, inp: str, out: str, prefix: str = "", label: str = "buf"
+) -> None:
+    """Push–pull source-follower buffer (matches the BUF primitive)."""
+    b.nmos(b.fresh(f"{prefix}mbuf"), d=VDD, g=inp, s=out, label=label)
+    b.pmos(b.fresh(f"{prefix}mbuf"), d=GND, g=inp, s=out, label=label)
+
+
+def add_inv_amp(
+    b: CircuitBuilder, *, inp: str, out: str, prefix: str = "", label: str = "inv"
+) -> None:
+    """Inverter-based amplifier (matches the INV primitive)."""
+    b.inverter(inp=inp, out=out, label=label)
+
+
+# ---------------------------------------------------------------------------
+# Whole training/test circuits.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReceiverSpec:
+    """A receiver combining one LNA, one mixer, and one oscillator."""
+
+    lna_topology: str = "inductive_degeneration"
+    lna_stages: int = 1
+    mixer_topology: str = "single_balanced"
+    osc_topology: str = "lc_nmos"
+    ring_stages: int = 3
+    size_seed: int = 0
+
+
+def generate_receiver(spec: ReceiverSpec, name: str = "") -> LabeledCircuit:
+    """LNA → mixer ← LO oscillator, with testbench port labels."""
+    rng = seeded_rng(("receiver", spec))
+    name = name or (
+        f"rx_{spec.lna_topology}_{spec.mixer_topology}_{spec.osc_topology}_"
+        f"{spec.size_seed}"
+    )
+    b = CircuitBuilder(name, ports=("rfin", "ifout", VDD, GND))
+    add_lna(
+        b, rf_in="rfin", rf_out="lna_out", topology=spec.lna_topology,
+        stages=spec.lna_stages, rng=rng,
+    )
+    add_oscillator(
+        b, outp="lo_p", outn="lo_n", topology=spec.osc_topology,
+        stages=spec.ring_stages, rng=rng,
+    )
+    add_mixer(
+        b, rf_in="lna_out", lo="lo_p", lo_bar="lo_n", if_out="ifout",
+        topology=spec.mixer_topology, rng=rng,
+    )
+    b.mark_port("rfin", "antenna")
+    b.mark_port("lo_p", "oscillating")
+    b.mark_port("lo_n", "oscillating")
+    return b.finish(class_names=RF_CLASSES)
+
+
+def generate_single_block(
+    kind: str, topology: str, seed: int, name: str = ""
+) -> LabeledCircuit:
+    """A lone LNA / mixer / oscillator (half the RF training mix)."""
+    rng = seeded_rng(("single", kind, topology, seed))
+    name = name or f"{kind}_{topology}_{seed}"
+    b = CircuitBuilder(name, ports=("rfin", "ifout", VDD, GND))
+    if kind == "lna":
+        add_lna(b, rf_in="rfin", rf_out="ifout", topology=topology, rng=rng)
+        b.mark_port("rfin", "antenna")
+    elif kind == "mixer":
+        add_mixer(
+            b, rf_in="rfin", lo="lo", lo_bar="lob", if_out="ifout",
+            topology=topology, rng=rng,
+        )
+        b.mark_port("lo", "oscillating")
+        b.mark_port("lob", "oscillating")
+    elif kind == "osc":
+        add_oscillator(
+            b, outp="ifout", outn="outn", topology=topology, rng=rng
+        )
+    else:
+        raise DatasetError(f"unknown block kind {kind!r}")
+    return b.finish(class_names=RF_CLASSES)
+
+
+def receiver_variants(n: int, seed: object = "rf-train") -> list[ReceiverSpec]:
+    """Sample ``n`` receiver specs over the topology grid."""
+    rng = seeded_rng(seed)
+    specs: list[ReceiverSpec] = []
+    for index in range(n):
+        specs.append(
+            ReceiverSpec(
+                lna_topology=str(rng.choice(LNA_TOPOLOGIES)),
+                lna_stages=int(rng.integers(1, 3)),
+                mixer_topology=str(rng.choice(MIXER_TOPOLOGIES)),
+                osc_topology=str(rng.choice(OSC_TOPOLOGIES)),
+                ring_stages=int(rng.choice([3, 5])),
+                size_seed=index,
+            )
+        )
+    return specs

@@ -1,0 +1,215 @@
+"""Dataset assembly: the paper's Table I/II datasets, synthesized.
+
+* OTA-bias training set: 624 circuits / 2 labels (Table I row 1)
+* RF training set: 608 circuits / 3 labels (Table I row 2)
+* OTA test set: 168 circuits (Table II row 1), disjoint seeds
+* RF test set: 105 receivers (Table II row 3), disjoint seeds
+* system testcases via :mod:`repro.datasets.systems`
+
+:func:`build_samples` turns labeled circuits into GCN-ready
+:class:`~repro.gcn.samples.GraphSample` lists;
+:func:`pretrain_annotator` trains a recognition model end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.annotator import GcnAnnotator
+from repro.datasets.components import LabeledCircuit, derive_net_labels
+from repro.datasets.ota import OTA_CLASSES, generate_ota, ota_variants
+from repro.datasets.rf import (
+    LNA_TOPOLOGIES,
+    MIXER_TOPOLOGIES,
+    OSC_TOPOLOGIES,
+    RF_CLASSES,
+    generate_receiver,
+    generate_single_block,
+    receiver_variants,
+)
+from repro.exceptions import DatasetError
+from repro.gcn.model import GCNConfig, GCNModel
+from repro.gcn.samples import GraphSample, train_validation_split
+from repro.gcn.train import TrainConfig, train
+from repro.graph.bipartite import CircuitGraph
+from repro.spice.preprocess import preprocess
+from repro.utils.rng import seeded_rng
+
+#: Table I sizes.
+OTA_TRAIN_SIZE = 624
+RF_TRAIN_SIZE = 608
+OTA_TEST_SIZE = 168
+RF_TEST_SIZE = 105
+
+
+def generate_ota_bias_dataset(
+    n: int = OTA_TRAIN_SIZE, seed: object = "ota-train"
+) -> list[LabeledCircuit]:
+    """The OTA-bias dataset: OTA variants with signal/bias labels."""
+    return [
+        generate_ota(spec, name=f"ota{seed}_{i}")
+        for i, spec in enumerate(ota_variants(n, seed=seed))
+    ]
+
+
+def generate_rf_dataset(
+    n: int = RF_TRAIN_SIZE, seed: object = "rf-train"
+) -> list[LabeledCircuit]:
+    """The RF dataset: a mix of lone blocks and full receivers.
+
+    Half the circuits are individual LNAs/mixers/oscillators (cleanly
+    labeled single-class graphs), half are receivers combining them —
+    matching the paper's "different RF circuits, with labels attached
+    to elements that compose LNAs, mixers and oscillators (OSC)".
+    """
+    rng = seeded_rng((seed, "mix"))
+    out: list[LabeledCircuit] = []
+    n_single = n // 2
+    kinds = (
+        [("lna", t) for t in LNA_TOPOLOGIES]
+        + [("mixer", t) for t in MIXER_TOPOLOGIES]
+        + [("osc", t) for t in OSC_TOPOLOGIES]
+    )
+    for i in range(n_single):
+        kind, topology = kinds[int(rng.integers(0, len(kinds)))]
+        out.append(
+            generate_single_block(kind, topology, seed=i, name=f"blk{seed}_{i}")
+        )
+    for i, spec in enumerate(receiver_variants(n - n_single, seed=seed)):
+        out.append(generate_receiver(spec, name=f"rx{seed}_{i}"))
+    return out
+
+
+def generate_ota_test_set(
+    n: int = OTA_TEST_SIZE, seed: object = "ota-test"
+) -> list[LabeledCircuit]:
+    """Held-out OTA circuits (different seed stream than training)."""
+    return generate_ota_bias_dataset(n, seed=seed)
+
+
+def generate_rf_test_set(
+    n: int = RF_TEST_SIZE, seed: object = "rf-test"
+) -> list[LabeledCircuit]:
+    """Held-out receivers only (the paper's third test set combines
+    LNAs, mixers, and oscillators in receivers)."""
+    return [
+        generate_receiver(spec, name=f"rxt{seed}_{i}")
+        for i, spec in enumerate(receiver_variants(n, seed=seed))
+    ]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """The columns of Table I / Table II for one dataset."""
+
+    name: str
+    n_circuits: int
+    n_nodes: int
+    n_labels: int
+    n_features: int = 18
+
+
+def summarize(name: str, dataset: list[LabeledCircuit]) -> DatasetSummary:
+    """Count circuits/nodes/labels the way Table I reports them."""
+    if not dataset:
+        raise DatasetError("empty dataset")
+    n_nodes = 0
+    classes: set[str] = set()
+    for item in dataset:
+        graph = CircuitGraph.from_circuit(item.circuit)
+        n_nodes += graph.n_vertices
+        classes.update(item.device_labels.values())
+    return DatasetSummary(
+        name=name,
+        n_circuits=len(dataset),
+        n_nodes=n_nodes,
+        n_labels=len(classes),
+    )
+
+
+def build_samples(
+    dataset: list[LabeledCircuit],
+    class_names: tuple[str, ...],
+    levels: int = 2,
+    run_preprocess: bool = False,
+) -> list[GraphSample]:
+    """Labeled circuits → GCN samples.
+
+    Vertex labels cover devices plus unambiguous nets (see
+    :func:`~repro.datasets.components.derive_net_labels`); everything
+    else is masked.  Classes outside ``class_names`` (e.g. "bpf" in a
+    system testcase) are masked too — the GCN never trains on them.
+    """
+    class_ids = {name: i for i, name in enumerate(class_names)}
+    samples: list[GraphSample] = []
+    for item in dataset:
+        circuit = item.circuit
+        if run_preprocess:
+            circuit, _report = preprocess(circuit)
+        graph = CircuitGraph.from_circuit(circuit)
+        labels = dict(item.device_labels)
+        labels.update(derive_net_labels(graph, item.device_labels))
+        int_labels = {
+            name: class_ids[cls]
+            for name, cls in labels.items()
+            if cls in class_ids
+        }
+        samples.append(
+            GraphSample.from_graph(
+                graph, int_labels, levels=levels, seed=item.name
+            )
+        )
+    return samples
+
+
+def task_classes(task: str) -> tuple[str, ...]:
+    if task == "ota":
+        return OTA_CLASSES
+    if task == "rf":
+        return RF_CLASSES
+    raise DatasetError(f"unknown task {task!r} (expected 'ota' or 'rf')")
+
+
+def pretrain_annotator(
+    task: str = "ota",
+    quick: bool = True,
+    seed: int = 0,
+    model_config: GCNConfig | None = None,
+    train_config: TrainConfig | None = None,
+    train_size: int | None = None,
+) -> GcnAnnotator:
+    """Generate data, train the Fig. 4 GCN, and wrap it as an annotator.
+
+    ``quick`` trades dataset size and epochs for runtime (interactive /
+    test use); ``quick=False`` runs at paper scale.  Everything is
+    seeded, so the "pretrained" model is reproducible bit-for-bit.
+    """
+    classes = task_classes(task)
+    if train_size is None:
+        full = OTA_TRAIN_SIZE if task == "ota" else RF_TRAIN_SIZE
+        train_size = 72 if quick else full
+    dataset = (
+        generate_ota_bias_dataset(train_size, seed=(seed, "ota-train"))
+        if task == "ota"
+        else generate_rf_dataset(train_size, seed=(seed, "rf-train"))
+    )
+    model_config = model_config or GCNConfig(
+        n_classes=len(classes),
+        filter_size=8 if quick else 32,
+        channels=(16, 32) if quick else (32, 64),
+        fc_size=64 if quick else 512,
+        seed=seed,
+    )
+    train_config = train_config or TrainConfig(
+        epochs=15 if quick else 60,
+        batch_size=8,
+        patience=5 if quick else 10,
+        seed=seed,
+    )
+    samples = build_samples(dataset, classes, levels=model_config.levels_needed or 2)
+    train_samples, val_samples = train_validation_split(
+        samples, validation_fraction=0.2, seed=seed
+    )
+    model = GCNModel(model_config)
+    train(model, train_samples, val_samples, train_config)
+    return GcnAnnotator(model=model, class_names=classes)

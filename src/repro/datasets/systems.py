@@ -1,0 +1,169 @@
+"""Hand-crafted system testcases (Table II rows 2 and 4, Fig. 1).
+
+* :func:`switched_cap_filter` — the composite OTA testcase: a
+  telescopic OTA (a topology family never dominant in training),
+  its bias network, and a switched-capacitor network around it
+  (~32 devices / ~25 nets as in the paper).
+* :func:`sample_and_hold` — the Fig. 1 schematic: a fully-differential
+  two-stage OTA inside a switched-capacitor sample-and-hold.
+* :func:`phased_array` — the largest testcase: N channels of
+  LNA → BPF → mixer with per-channel injection-locked oscillators,
+  VCO buffers, and inverter-based IF amplifiers, sized to land near
+  the paper's 522 devices + 380 nets.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.components import GND, VDD, CircuitBuilder, LabeledCircuit
+from repro.datasets.ota import OTA_CLASSES, OtaSpec, generate_ota
+from repro.datasets.rf import (
+    RF_EXTENDED_CLASSES,
+    add_bpf,
+    add_inv_amp,
+    add_lna,
+    add_mixer,
+    add_oscillator,
+    add_vco_buffer,
+)
+from repro.utils.rng import seeded_rng
+
+
+def _add_sc_network(
+    b: CircuitBuilder,
+    *,
+    inp: str,
+    to_ota: str,
+    phases: tuple[str, str] = ("phi1", "phi2"),
+    n_units: int = 2,
+    label: str = "ota",
+    prefix: str = "",
+) -> None:
+    """A switched-capacitor sampling network feeding an OTA input.
+
+    Each unit: input switch → sampling cap → output switch, plus a
+    reset switch to ground, the classic parasitic-insensitive branch.
+    """
+    phi1, phi2 = phases
+    for unit in range(n_units):
+        top = f"{prefix}sc{unit}_top"
+        bot = f"{prefix}sc{unit}_bot"
+        b.nmos(b.fresh("msw"), d=inp, g=phi1, s=top, w=0.5e-6, label=label)
+        b.capacitor(p=top, n=bot, value=0.8e-12, label=label)
+        b.nmos(b.fresh("msw"), d=bot, g=phi1, s=GND, w=0.5e-6, label=label)
+        b.nmos(b.fresh("msw"), d=top, g=phi2, s=GND, w=0.5e-6, label=label)
+        b.nmos(b.fresh("msw"), d=bot, g=phi2, s=to_ota, w=0.5e-6, label=label)
+
+
+def switched_cap_filter(seed: int = 7) -> LabeledCircuit:
+    """The composite switched-capacitor filter testcase (Table II row 2)."""
+    spec = OtaSpec(
+        topology="telescopic",
+        polarity="n",
+        bias_mirror_outputs=0,
+        with_load_caps=False,
+        size_seed=seed,
+    )
+    ota = generate_ota(spec, name="sc_filter")
+    b = CircuitBuilder("sc_filter", ports=("vin", "vout", "phi1", "phi2", VDD, GND))
+    # Re-host the OTA devices in the filter builder.
+    for dev in ota.circuit.devices:
+        b.circuit.add(dev)
+    b.device_labels.update(ota.device_labels)
+    _add_sc_network(b, inp="vin", to_ota="vinp", n_units=3, label="ota")
+    # Integration capacitor around the OTA and output load.
+    b.capacitor(p="vinp", n="vout", value=2e-12, label="ota")
+    b.capacitor(p="vout", n=GND, value=1e-12, label="ota")
+    # The OTA's second input is a reference tap.
+    b.resistor(p="vinn", n=GND, value=50e3, label="ota")
+    return b.finish(class_names=OTA_CLASSES)
+
+
+def sample_and_hold(seed: int = 3) -> LabeledCircuit:
+    """The Fig. 1 sample-and-hold: FD OTA + switch/cap arrays."""
+    spec = OtaSpec(
+        topology="fully_differential",
+        polarity="n",
+        bias_mirror_outputs=1,
+        with_load_caps=False,
+        size_seed=seed,
+    )
+    ota = generate_ota(spec, name="sample_hold")
+    b = CircuitBuilder(
+        "sample_hold", ports=("vin", "vout", "phi1", "phi2", VDD, GND)
+    )
+    for dev in ota.circuit.devices:
+        b.circuit.add(dev)
+    b.device_labels.update(ota.device_labels)
+    _add_sc_network(b, inp="vin", to_ota="vinp", n_units=2, label="ota", prefix="fwd_")
+    _add_sc_network(b, inp="vout", to_ota="vinn", n_units=1, label="ota", prefix="fb_")
+    b.capacitor(p="vinp", n="vout", value=1.5e-12, label="ota")
+    b.capacitor(p="vout", n=GND, value=1e-12, label="ota")
+    return b.finish(class_names=OTA_CLASSES)
+
+
+def phased_array(n_channels: int = 10, seed: int = 11) -> LabeledCircuit:
+    """The phased-array receiver testcase (Table II row 4, Fig. 7).
+
+    Per channel: 2-stage LNA → band-pass filter → double-balanced
+    mixer, with a per-channel injection-locked LC oscillator, two VCO
+    buffers driving the mixer's LO ports, and a two-stage inverter
+    amplifier at IF.  A shared reference oscillator injection-locks
+    every channel — the paper's "sub-harmonic ILO based channelization".
+    """
+    rng = seeded_rng(("phased-array", seed))
+    ports = (
+        [f"ant{c}" for c in range(n_channels)]
+        + [f"ifout{c}" for c in range(n_channels)]
+        + [VDD, GND]
+    )
+    b = CircuitBuilder("phased_array", ports=tuple(ports))
+
+    # Shared reference oscillator.
+    add_oscillator(
+        b, outp="ref_p", outn="ref_n", topology="lc_cmos", prefix="ref_", rng=rng
+    )
+    b.mark_port("ref_p", "oscillating")
+    b.mark_port("ref_n", "oscillating")
+
+    for c in range(n_channels):
+        p = f"ch{c}_"
+        ant = f"ant{c}"
+        b.mark_port(ant, "antenna")
+
+        add_lna(
+            b, rf_in=ant, rf_out=f"{p}lna_out",
+            topology="inductive_degeneration", stages=3, prefix=p, rng=rng,
+        )
+        add_bpf(
+            b, inp=f"{p}lna_out", inn=None, outp=f"{p}bpf_p", outn=f"{p}bpf_n",
+            prefix=p,
+        )
+        # Injection-locked channel oscillator: an LC-CMOS core plus an
+        # injection device whose gate takes the shared reference.
+        add_oscillator(
+            b, outp=f"{p}lo_p", outn=f"{p}lo_n", topology="lc_cmos",
+            prefix=p, rng=rng,
+        )
+        b.nmos(
+            b.fresh(f"{p}minj"), d=f"{p}lo_p", g="ref_p", s=f"{p}lo_n",
+            label="osc",
+        )
+        b.mark_port(f"{p}lo_p", "oscillating")
+        b.mark_port(f"{p}lo_n", "oscillating")
+        # VCO buffers between the oscillator and the mixer's LO ports.
+        # The buffered LO nets carry the oscillating testbench label too
+        # (they are the mixer's LO inputs).
+        add_vco_buffer(b, inp=f"{p}lo_p", out=f"{p}lob_p", prefix=f"{p}a")
+        add_vco_buffer(b, inp=f"{p}lo_n", out=f"{p}lob_n", prefix=f"{p}b")
+        b.mark_port(f"{p}lob_p", "oscillating")
+        b.mark_port(f"{p}lob_n", "oscillating")
+        add_mixer(
+            b, rf_in=f"{p}bpf_p", lo=f"{p}lob_p", lo_bar=f"{p}lob_n",
+            if_out=f"{p}if0", topology="double_balanced", prefix=p, rng=rng,
+        )
+        # Inverter-based IF amplifier chain to the channel output.
+        add_inv_amp(b, inp=f"{p}if0", out=f"{p}if1", prefix=f"{p}a")
+        add_inv_amp(b, inp=f"{p}if1", out=f"{p}if2", prefix=f"{p}b")
+        add_inv_amp(b, inp=f"{p}if2", out=f"ifout{c}", prefix=f"{p}c")
+
+    return b.finish(class_names=RF_EXTENDED_CLASSES)

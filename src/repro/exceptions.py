@@ -1,0 +1,53 @@
+"""Exception hierarchy for the GANA reproduction.
+
+All library-raised errors derive from :class:`GanaError` so that callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class GanaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SpiceSyntaxError(GanaError):
+    """Raised when a SPICE netlist cannot be tokenized or parsed.
+
+    Carries the offending line number (1-based) when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ElaborationError(GanaError):
+    """Raised when hierarchy flattening fails (missing subckt, port
+    arity mismatch, recursive instantiation)."""
+
+
+class GraphConstructionError(GanaError):
+    """Raised when a netlist cannot be converted to a bipartite graph."""
+
+
+class ModelConfigError(GanaError):
+    """Raised for invalid GCN model or training configuration."""
+
+
+class MatchError(GanaError):
+    """Raised for invalid primitive-matching requests."""
+
+
+class ConstraintError(GanaError):
+    """Raised for malformed or contradictory layout constraints."""
+
+
+class LayoutError(GanaError):
+    """Raised when the placer cannot satisfy its inputs."""
+
+
+class DatasetError(GanaError):
+    """Raised by dataset generators for invalid specs."""

@@ -1,0 +1,87 @@
+"""Chebyshev polynomial machinery for spectral graph filters (Eq. 3–5).
+
+The order-K filter ``g_θ(L) x = Σ_k θ_k T_k(L̂) x`` is evaluated with the
+three-term recurrence ``T_k(x) = 2 x T_{k-1}(x) − T_{k-2}(x)``, costing
+K sparse multiplications — the O(Kn) evaluation the paper relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def chebyshev_polynomial(k: int, x: np.ndarray | float) -> np.ndarray | float:
+    """Scalar/elementwise Chebyshev polynomial ``T_k(x)`` (Eq. 4).
+
+    Used by tests to validate the operator recurrence against the
+    closed form ``T_k(cos θ) = cos(k θ)``.
+    """
+    if k < 0:
+        raise ValueError("Chebyshev order must be non-negative")
+    if k == 0:
+        return np.ones_like(x) if isinstance(x, np.ndarray) else 1.0
+    if k == 1:
+        return x
+    t_prev, t_cur = (np.ones_like(x) if isinstance(x, np.ndarray) else 1.0), x
+    for _ in range(2, k + 1):
+        t_prev, t_cur = t_cur, 2 * x * t_cur - t_prev
+    return t_cur
+
+
+def chebyshev_basis(
+    laplacian: sp.spmatrix, x: np.ndarray, order: int
+) -> np.ndarray:
+    """Stack ``[T_0(L̂)x, …, T_{K-1}(L̂)x]`` along a new leading axis.
+
+    ``laplacian`` must already be rescaled to spectrum ⊆ [−1, 1]
+    (:func:`repro.graph.rescaled_laplacian`).  ``x`` is (n, F); the
+    result is (K, n, F).
+    """
+    if order < 1:
+        raise ValueError("Chebyshev order K must be >= 1")
+    n, f = x.shape
+    basis = np.empty((order, n, f), dtype=np.float64)
+    basis[0] = x
+    if order > 1:
+        basis[1] = laplacian @ x
+    for k in range(2, order):
+        basis[k] = 2.0 * (laplacian @ basis[k - 1]) - basis[k - 2]
+    return basis
+
+
+def chebyshev_basis_backward(
+    laplacian: sp.spmatrix, grad_basis: np.ndarray
+) -> np.ndarray:
+    """Reverse-mode gradient of :func:`chebyshev_basis` w.r.t. ``x``.
+
+    Given upstream gradients ``G_k = ∂loss/∂T_k(L̂)x`` of shape
+    (K, n, F), propagates the recurrence backwards (L̂ is symmetric so
+    each adjoint multiplies by L̂ itself), again in K sparse products:
+
+        for k = K−1 … 2:  G_{k−1} += 2 L̂ G_k ;  G_{k−2} −= G_k
+        ∂loss/∂x = G_0 + L̂ G_1
+    """
+    grad = np.array(grad_basis, dtype=np.float64, copy=True)
+    order = grad.shape[0]
+    for k in range(order - 1, 1, -1):
+        grad[k - 1] += 2.0 * (laplacian @ grad[k])
+        grad[k - 2] -= grad[k]
+    out = grad[0]
+    if order > 1:
+        out = out + (laplacian @ grad[1])
+    return out
+
+
+def filter_signal(
+    laplacian: sp.spmatrix, x: np.ndarray, theta: np.ndarray
+) -> np.ndarray:
+    """Apply a single scalar Chebyshev filter ``Σ_k θ_k T_k(L̂) x``.
+
+    This is Eq. 5 verbatim — one filter, one input channel — useful for
+    spectral-analysis demos and for validating ChebConv against the
+    dense Fourier-domain evaluation ``U g_θ(Λ) Uᵀ x`` (Eq. 2).
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    basis = chebyshev_basis(laplacian, x.reshape(-1, 1), order=len(theta))
+    return np.tensordot(theta, basis[:, :, 0], axes=1)

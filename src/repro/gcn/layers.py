@@ -1,0 +1,311 @@
+"""Neural-network layers with manual forward/backward passes.
+
+No autograd framework is available offline, so every layer implements
+its own reverse-mode gradient.  The contract:
+
+* ``forward(x, ctx, training)`` consumes an (n, F) activation and the
+  per-sample :class:`SampleContext` (graph Laplacians and pooling maps
+  at every coarsening level) and returns the next activation;
+* ``backward(grad)`` consumes ∂loss/∂output, accumulates parameter
+  gradients into ``self.grads`` and returns ∂loss/∂input.
+
+Layers are stateful across a single forward/backward pair (they cache
+what backward needs); the :class:`~repro.gcn.model.GCNModel` drives
+them strictly in that order, one sample at a time, accumulating
+gradients over a minibatch before the optimizer steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ModelConfigError
+from repro.gcn.chebyshev import chebyshev_basis, chebyshev_basis_backward
+
+
+@dataclass
+class SampleContext:
+    """Graph-dependent state a layer stack needs for one sample.
+
+    ``laplacians[ℓ]`` is the rescaled Laplacian at coarsening level ℓ
+    (level 0 = original graph).  ``assignments[ℓ]`` maps fine vertex →
+    coarse vertex between level ℓ and ℓ+1.  ``level`` is mutated by
+    pool/unpool layers as the sample flows through the network.
+    """
+
+    laplacians: list[sp.csr_matrix]
+    assignments: list[np.ndarray] = field(default_factory=list)
+    level: int = 0
+
+    @property
+    def laplacian(self) -> sp.csr_matrix:
+        return self.laplacians[self.level]
+
+    def reset(self) -> None:
+        self.level = 0
+
+
+class Layer:
+    """Base layer: parameter bookkeeping plus the fwd/bwd contract."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def forward(
+        self, x: np.ndarray, ctx: SampleContext, training: bool
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+
+class ChebConv(Layer):
+    """Graph convolution with order-K Chebyshev filters (Sec. III-A).
+
+    Output ``Y = [T_0(L̂)X | … | T_{K-1}(L̂)X] W + b`` with
+    ``W ∈ R^{K·Fin × Fout}``.  Glorot-initialized.
+    """
+
+    def __init__(self, in_features: int, out_features: int, order: int, rng):
+        super().__init__()
+        if order < 1:
+            raise ModelConfigError("ChebConv order must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.order = order
+        scale = np.sqrt(2.0 / (order * in_features + out_features))
+        self.params["weight"] = rng.normal(
+            0.0, scale, size=(order * in_features, out_features)
+        )
+        self.params["bias"] = np.zeros(out_features)
+        self.zero_grad()
+        self._basis: np.ndarray | None = None
+        self._laplacian: sp.csr_matrix | None = None
+
+    def forward(self, x, ctx, training):
+        laplacian = ctx.laplacian
+        basis = chebyshev_basis(laplacian, x, self.order)  # (K, n, Fin)
+        n = x.shape[0]
+        flat = basis.transpose(1, 0, 2).reshape(n, self.order * self.in_features)
+        self._basis = basis
+        self._flat = flat
+        self._laplacian = laplacian
+        return flat @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, grad):
+        self.grads["weight"] += self._flat.T @ grad
+        self.grads["bias"] += grad.sum(axis=0)
+        n = grad.shape[0]
+        grad_flat = grad @ self.params["weight"].T  # (n, K*Fin)
+        grad_basis = grad_flat.reshape(n, self.order, self.in_features).transpose(
+            1, 0, 2
+        )
+        return chebyshev_basis_backward(self._laplacian, grad_basis)
+
+
+class Dense(Layer):
+    """Per-vertex fully connected layer ``Y = X W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng):
+        super().__init__()
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.params["weight"] = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.params["bias"] = np.zeros(out_features)
+        self.zero_grad()
+
+    def forward(self, x, ctx, training):
+        self._x = x
+        return x @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, grad):
+        self.grads["weight"] += self._x.T @ grad
+        self.grads["bias"] += grad.sum(axis=0)
+        return grad @ self.params["weight"].T
+
+
+class ReLU(Layer):
+    """Rectified linear activation (the paper's empirical winner)."""
+
+    def forward(self, x, ctx, training):
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad):
+        return grad * self._mask
+
+
+class Tanh(Layer):
+    """tanh activation — kept for the ReLU-vs-tanh comparison."""
+
+    def forward(self, x, ctx, training):
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad):
+        return grad * (1.0 - self._y**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference."""
+
+    def __init__(self, rate: float, rng):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ModelConfigError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng
+
+    def forward(self, x, ctx, training):
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad):
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class BatchNorm(Layer):
+    """Normalization over the vertex axis of one sample.
+
+    With one graph per forward pass, this normalizes each feature over
+    the sample's vertices (running statistics are kept for inference) —
+    the "batch normalization ... all input quantities in the same
+    numerical range" regularizer of Sec. V-A.
+    """
+
+    def __init__(self, features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        self.params["gamma"] = np.ones(features)
+        self.params["beta"] = np.zeros(features)
+        self.zero_grad()
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(features)
+        self.running_var = np.ones(features)
+
+    def forward(self, x, ctx, training):
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        self._std = np.sqrt(var + self.eps)
+        self._xhat = (x - mean) / self._std
+        self._training = training
+        return self.params["gamma"] * self._xhat + self.params["beta"]
+
+    def backward(self, grad):
+        xhat, std = self._xhat, self._std
+        self.grads["gamma"] += (grad * xhat).sum(axis=0)
+        self.grads["beta"] += grad.sum(axis=0)
+        gg = grad * self.params["gamma"]
+        if not self._training:
+            return gg / std
+        n = grad.shape[0]
+        return (
+            gg - gg.mean(axis=0) - xhat * (gg * xhat).mean(axis=0)
+        ) / std if n > 1 else gg / std
+
+
+class GraphPool(Layer):
+    """Cluster max-pooling between coarsening levels (Sec. III-B).
+
+    Uses the Graclus cluster assignment stored in the sample context:
+    each coarse vertex takes the elementwise max over its (1 or 2)
+    members — "pooling operations ... performed very efficiently" on
+    the cluster tree.  Advances ``ctx.level``.
+    """
+
+    def forward(self, x, ctx, training):
+        if ctx.level >= len(ctx.assignments):
+            raise ModelConfigError(
+                "GraphPool used beyond the available coarsening levels"
+            )
+        assign = ctx.assignments[ctx.level]
+        n_coarse = int(assign.max()) + 1 if assign.size else 0
+        out = np.full((n_coarse, x.shape[1]), -np.inf)
+        np.maximum.at(out, assign, x)
+        # Track which fine vertex supplied each max for routing grads.
+        winner = np.zeros((n_coarse, x.shape[1]), dtype=np.int64)
+        for fine, coarse in enumerate(assign):
+            exact = x[fine] == out[coarse]
+            winner[coarse] = np.where(exact, fine, winner[coarse])
+        self._winner = winner
+        self._n_fine = x.shape[0]
+        ctx.level += 1
+        return out
+
+    def backward(self, grad):
+        out = np.zeros((self._n_fine, grad.shape[1]))
+        cols = np.arange(grad.shape[1])
+        for coarse in range(grad.shape[0]):
+            out[self._winner[coarse], cols] += grad[coarse]
+        return out
+
+
+class GraphUnpool(Layer):
+    """Inverse of :class:`GraphPool`: copy coarse features to members.
+
+    Lets the Fig. 4 conv/pool stack still emit *per-vertex* labels: the
+    final network unpools back to level 0 before the dense softmax
+    head, so each original vertex receives the representation of its
+    multilevel cluster.
+    """
+
+    def forward(self, x, ctx, training):
+        if ctx.level == 0:
+            raise ModelConfigError("GraphUnpool at level 0 has nothing to undo")
+        ctx.level -= 1
+        assign = ctx.assignments[ctx.level]
+        self._assign = assign
+        self._n_coarse = x.shape[0]
+        return x[assign]
+
+    def backward(self, grad):
+        out = np.zeros((self._n_coarse, grad.shape[1]))
+        np.add.at(out, self._assign, grad)
+        return out
+
+
+class Concat(Layer):
+    """Skip-connection concatenation with a stored earlier activation.
+
+    Used by the unpooling head to mix fine-level detail back in.
+    Forward stores nothing to learn; backward splits the gradient.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.saved: np.ndarray | None = None
+
+    def forward(self, x, ctx, training):
+        if self.saved is None:
+            raise ModelConfigError("Concat.saved not set before forward")
+        self._split = x.shape[1]
+        return np.concatenate([x, self.saved], axis=1)
+
+    def backward(self, grad):
+        return grad[:, : self._split]

@@ -1,0 +1,58 @@
+"""Softmax cross-entropy with label masks.
+
+Vertices on sub-block boundaries can legitimately belong to multiple
+blocks (Sec. II-B); such vertices are excluded from the loss through a
+boolean mask rather than being forced into one class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    mask: np.ndarray | None = None,
+    class_weights: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Mean masked cross-entropy and its gradient w.r.t. ``logits``.
+
+    ``labels`` are integer class ids per vertex; ``mask`` selects the
+    vertices that contribute.  Returns ``(loss, grad)`` where ``grad``
+    has the full (n, C) shape with zeros at masked-out rows.
+    """
+    n, n_classes = logits.shape
+    if mask is None:
+        mask = np.ones(n, dtype=bool)
+    count = int(mask.sum())
+    grad = np.zeros_like(logits)
+    if count == 0:
+        return 0.0, grad
+
+    probs = softmax(logits)
+    picked = probs[np.arange(n), labels]
+    weights = np.ones(n)
+    if class_weights is not None:
+        weights = class_weights[labels]
+    log_losses = -np.log(np.clip(picked, 1e-12, None)) * weights
+    loss = float(log_losses[mask].sum() / count)
+
+    grad[mask] = probs[mask]
+    grad[np.arange(n)[mask], labels[mask]] -= 1.0
+    grad[mask] *= weights[mask, None] / count
+    return loss, grad
+
+
+def l2_penalty(params: list[np.ndarray], strength: float) -> float:
+    """Scalar L2 regularization term ``(λ/2) Σ‖W‖²``."""
+    if strength == 0.0:
+        return 0.0
+    return 0.5 * strength * sum(float((p**2).sum()) for p in params)

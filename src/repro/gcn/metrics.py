@@ -1,0 +1,109 @@
+"""Classification metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(
+    predictions: np.ndarray, labels: np.ndarray, mask: np.ndarray | None = None
+) -> float:
+    """Fraction of (masked) vertices predicted correctly."""
+    if mask is None:
+        mask = np.ones(len(labels), dtype=bool)
+    total = int(mask.sum())
+    if total == 0:
+        return 1.0
+    return float((predictions[mask] == labels[mask]).sum() / total)
+
+
+def confusion_matrix(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """(true, predicted) count matrix of shape (C, C)."""
+    if mask is None:
+        mask = np.ones(len(labels), dtype=bool)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for truth, pred in zip(labels[mask], predictions[mask]):
+        matrix[truth, pred] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Per-class precision/recall/F1 plus support."""
+
+    precision: np.ndarray
+    recall: np.ndarray
+    f1: np.ndarray
+    support: np.ndarray
+
+    @property
+    def macro_f1(self) -> float:
+        present = self.support > 0
+        return float(self.f1[present].mean()) if present.any() else 0.0
+
+
+def class_report(matrix: np.ndarray) -> ClassReport:
+    """Derive per-class metrics from a confusion matrix."""
+    tp = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return ClassReport(
+        precision=precision, recall=recall, f1=f1, support=actual.astype(np.int64)
+    )
+
+
+def classification_report(
+    matrix: np.ndarray, class_names: tuple[str, ...] | list[str]
+) -> str:
+    """sklearn-style text report from a confusion matrix.
+
+    One row per class (precision / recall / F1 / support) plus overall
+    accuracy and macro-F1 — what the evaluation harness prints next to
+    each Table II row.
+    """
+    report = class_report(matrix)
+    total = int(matrix.sum())
+    correct = int(np.trace(matrix))
+    lines = [
+        "{:<12} {:>9} {:>9} {:>9} {:>9}".format(
+            "class", "precision", "recall", "f1", "support"
+        )
+    ]
+    for idx, name in enumerate(class_names):
+        lines.append(
+            "{:<12} {:>8.1%} {:>8.1%} {:>8.1%} {:>9}".format(
+                name,
+                report.precision[idx],
+                report.recall[idx],
+                report.f1[idx],
+                int(report.support[idx]),
+            )
+        )
+    accuracy_value = correct / total if total else 1.0
+    lines.append("")
+    lines.append(
+        f"accuracy {accuracy_value:.1%} ({correct}/{total})   "
+        f"macro-F1 {report.macro_f1:.1%}"
+    )
+    return "\n".join(lines)
+
+
+def mean_and_variance(values: list[float]) -> tuple[float, float]:
+    """Mean and (population) variance — the paper reports both for the
+    cross-validated training accuracy."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return 0.0, 0.0
+    return float(array.mean()), float(array.var())

@@ -1,0 +1,85 @@
+"""Optimizers operating in place on layer parameter dictionaries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelConfigError
+
+
+class Optimizer:
+    """Base optimizer over a list of (params, grads) dict pairs."""
+
+    def __init__(self, slots: list[tuple[dict, dict]], lr: float, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ModelConfigError(f"learning rate must be positive, got {lr}")
+        self.slots = slots
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def decay_lr(self, factor: float) -> None:
+        """Multiply the learning rate by ``factor`` (decay-rate knob)."""
+        self.lr *= factor
+
+    def _decayed_grad(self, key: str, param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        # Biases and batch-norm offsets conventionally skip weight decay.
+        if self.weight_decay and key not in ("bias", "beta"):
+            return grad + self.weight_decay * param
+        return grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, slots, lr, momentum: float = 0.9, weight_decay: float = 0.0):
+        super().__init__(slots, lr, weight_decay)
+        self.momentum = momentum
+        self.velocity = [
+            {k: np.zeros_like(v) for k, v in params.items()} for params, _ in slots
+        ]
+
+    def step(self) -> None:
+        for (params, grads), vel in zip(self.slots, self.velocity):
+            for key in params:
+                g = self._decayed_grad(key, params[key], grads[key])
+                vel[key] = self.momentum * vel[key] - self.lr * g
+                params[key] += vel[key]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        slots,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(slots, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self.m = [
+            {k: np.zeros_like(v) for k, v in params.items()} for params, _ in slots
+        ]
+        self.v = [
+            {k: np.zeros_like(v) for k, v in params.items()} for params, _ in slots
+        ]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for (params, grads), m, v in zip(self.slots, self.m, self.v):
+            for key in params:
+                g = self._decayed_grad(key, params[key], grads[key])
+                m[key] = self.beta1 * m[key] + (1 - self.beta1) * g
+                v[key] = self.beta2 * v[key] + (1 - self.beta2) * g * g
+                params[key] -= (
+                    self.lr * (m[key] / bc1) / (np.sqrt(v[key] / bc2) + self.eps)
+                )

@@ -1,0 +1,236 @@
+"""Bipartite circuit-graph representation (Sec. II-C).
+
+A flat circuit becomes an undirected bipartite graph ``G(V, E)`` with
+``V = Ve ∪ Vn``: element vertices (transistors and passives) and net
+vertices.  Each transistor edge carries the paper's 3-bit label
+``lg ls ld`` — bit set when the transistor touches that net through its
+gate / source / drain.  A transistor that touches one net through two
+terminals gets the OR of the bits on a single edge (e.g. a
+diode-connected device has a ``101`` edge).  Passive edges are
+unlabeled (label 0).
+
+Body terminals are excluded from the edge set, matching the paper's
+figures ("body connections are not shown"); bulk nets are almost always
+power rails and would only blur the spectral filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphConstructionError
+from repro.spice.netlist import Circuit, Device, DeviceKind, is_power_net
+
+#: Bit positions of the 3-bit edge label ``lg ls ld`` (gate is the MSB).
+GATE_BIT = 0b100
+SOURCE_BIT = 0b010
+DRAIN_BIT = 0b001
+
+_TERMINAL_BITS = {"g": GATE_BIT, "s": SOURCE_BIT, "d": DRAIN_BIT}
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected element–net edge with its 3-bit label."""
+
+    element: int  # element vertex index (0-based within elements)
+    net: int  # net vertex index (0-based within nets)
+    label: int  # 0..7; 0 for passives
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.label <= 7:
+            raise GraphConstructionError(f"edge label out of range: {self.label}")
+
+
+@dataclass
+class CircuitGraph:
+    """The bipartite element/net graph of a flat circuit.
+
+    Vertex numbering: elements occupy indices ``0 .. n_elements-1`` and
+    nets occupy ``n_elements .. n_vertices-1``.  This global numbering
+    is what the Laplacian, features, and GCN all use.
+    """
+
+    circuit: Circuit
+    elements: list[Device]
+    nets: list[str]
+    edges: list[Edge]
+    net_index: dict[str, int] = field(default_factory=dict)
+    element_index: dict[str, int] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_circuit(
+        cls, circuit: Circuit, include_sources: bool = False
+    ) -> "CircuitGraph":
+        """Build the bipartite graph of a flat circuit.
+
+        ``include_sources`` controls whether V/I source cards become
+        element vertices; by default they are treated as testbench and
+        skipped (their nets still appear if other devices touch them).
+        """
+        if not circuit.is_flat():
+            raise GraphConstructionError(
+                f"circuit {circuit.name!r} still has subcircuit instances; "
+                "flatten() it first"
+            )
+        elements = [
+            d
+            for d in circuit.devices
+            if include_sources or not d.kind.is_source
+        ]
+        nets: list[str] = []
+        net_index: dict[str, int] = {}
+        for dev in elements:
+            for term, net in dev.pins:
+                if dev.kind.is_transistor and term == "b":
+                    continue
+                if net not in net_index:
+                    net_index[net] = len(nets)
+                    nets.append(net)
+        # Ports with no device connection still deserve vertices so that
+        # annotation covers every declared net.
+        for port in circuit.ports:
+            if port not in net_index:
+                net_index[port] = len(nets)
+                nets.append(port)
+
+        edges: list[Edge] = []
+        for idx, dev in enumerate(elements):
+            labels: dict[int, int] = {}
+            for term, net in dev.pins:
+                if dev.kind.is_transistor:
+                    if term == "b":
+                        continue
+                    bit = _TERMINAL_BITS[term]
+                else:
+                    bit = 0
+                nid = net_index[net]
+                labels[nid] = labels.get(nid, 0) | bit
+            for nid, label in labels.items():
+                edges.append(Edge(element=idx, net=nid, label=label))
+
+        element_index = {d.name: i for i, d in enumerate(elements)}
+        if len(element_index) != len(elements):
+            raise GraphConstructionError("duplicate device names in circuit")
+        return cls(
+            circuit=circuit,
+            elements=elements,
+            nets=nets,
+            edges=edges,
+            net_index=net_index,
+            element_index=element_index,
+        )
+
+    # -- sizes and vertex bookkeeping ---------------------------------
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.elements)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.n_elements + self.n_nets
+
+    def net_vertex(self, net: str) -> int:
+        """Global vertex index of a net name."""
+        return self.n_elements + self.net_index[net]
+
+    def element_vertex(self, name: str) -> int:
+        """Global vertex index of a device name."""
+        return self.element_index[name]
+
+    def vertex_name(self, vertex: int) -> str:
+        """Device or net name of a global vertex index."""
+        if vertex < self.n_elements:
+            return self.elements[vertex].name
+        return self.nets[vertex - self.n_elements]
+
+    def is_element_vertex(self, vertex: int) -> bool:
+        return vertex < self.n_elements
+
+    def element_of(self, vertex: int) -> Device:
+        """The device behind an element vertex."""
+        if not self.is_element_vertex(vertex):
+            raise IndexError(f"vertex {vertex} is a net vertex")
+        return self.elements[vertex]
+
+    # -- matrices ------------------------------------------------------
+
+    def adjacency(self) -> sp.csr_matrix:
+        """Unweighted symmetric adjacency over all vertices."""
+        n = self.n_vertices
+        rows, cols = [], []
+        for edge in self.edges:
+            u = edge.element
+            v = self.n_elements + edge.net
+            rows.extend((u, v))
+            cols.extend((v, u))
+        data = np.ones(len(rows), dtype=np.float64)
+        return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    def edge_label(self, element: int, net: int) -> int | None:
+        """3-bit label between an element vertex and a net (local index).
+
+        Returns None when there is no such edge.  O(E) lookup is fine at
+        the scales this package works at; hot paths use adjacency lists.
+        """
+        for edge in self.edges:
+            if edge.element == element and edge.net == net:
+                return edge.label
+        return None
+
+    def neighbors(self) -> list[list[tuple[int, int]]]:
+        """Adjacency list over global indices: vertex -> [(other, label)]."""
+        adj: list[list[tuple[int, int]]] = [[] for _ in range(self.n_vertices)]
+        for edge in self.edges:
+            u = edge.element
+            v = self.n_elements + edge.net
+            adj[u].append((v, edge.label))
+            adj[v].append((u, edge.label))
+        return adj
+
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees (global numbering)."""
+        deg = np.zeros(self.n_vertices, dtype=np.int64)
+        for edge in self.edges:
+            deg[edge.element] += 1
+            deg[self.n_elements + edge.net] += 1
+        return deg
+
+    # -- derived views -------------------------------------------------
+
+    def power_net_vertices(self) -> set[int]:
+        """Global vertex indices of supply/ground nets."""
+        return {
+            self.n_elements + i
+            for i, net in enumerate(self.nets)
+            if is_power_net(net)
+        }
+
+    def transistor_vertices(self) -> list[int]:
+        """Global indices of NMOS/PMOS element vertices."""
+        return [
+            i for i, dev in enumerate(self.elements) if dev.kind.is_transistor
+        ]
+
+    def subgraph_of_elements(self, element_indices: set[int]) -> "CircuitGraph":
+        """Graph induced by a subset of elements (nets pruned to touched)."""
+        devices = [self.elements[i] for i in sorted(element_indices)]
+        sub = Circuit(name=f"{self.circuit.name}_sub", devices=devices)
+        return CircuitGraph.from_circuit(sub)
+
+    def summary(self) -> str:
+        """One-line description, e.g. for logging."""
+        return (
+            f"CircuitGraph({self.circuit.name}: {self.n_elements} elements, "
+            f"{self.n_nets} nets, {len(self.edges)} edges)"
+        )

@@ -1,0 +1,146 @@
+"""Channel-connected components (Postprocessing I, Sec. V-A).
+
+The paper (footnote 1): *"A channel-connected component is a cluster of
+transistors connected at the sources and drains (not counting
+connections to supply and ground nodes). It can be identified using
+simple linear-time graph traversal schemes."*
+
+:func:`channel_connected_components` implements exactly that with a
+union–find over transistor elements; passives and nets are then
+assigned to the CCC they touch, which is what the postprocessing vote
+operates on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.graph.bipartite import DRAIN_BIT, SOURCE_BIT, CircuitGraph
+from repro.spice.netlist import is_power_net
+
+
+class _UnionFind:
+    """Array-based union–find with path halving; effectively linear."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+@dataclass
+class CCCPartition:
+    """The channel-connected decomposition of a circuit graph.
+
+    ``components`` lists element-index sets (transistors plus absorbed
+    passives); ``of_element`` maps element index → component id;
+    ``of_net`` maps local net index → set of component ids touching it
+    (a net can border several CCCs).
+    """
+
+    components: list[set[int]]
+    of_element: dict[int, int]
+    of_net: dict[int, set[int]]
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    def component_of(self, element: int) -> int | None:
+        return self.of_element.get(element)
+
+
+def channel_connected_components(graph: CircuitGraph) -> CCCPartition:
+    """Partition elements into channel-connected components.
+
+    Two transistors are channel-connected when a source or drain of one
+    shares a non-power net with a source or drain of the other.
+    Passives join the component their nets touch (ties broken toward
+    the lowest component id); a passive touching no transistor CCC
+    becomes its own singleton component — that is how stand-alone
+    passive structures (e.g. input-buffer RC) separate out.
+    """
+    uf = _UnionFind(graph.n_elements)
+    power = {
+        net_local
+        for net_local, net in enumerate(graph.nets)
+        if is_power_net(net)
+    }
+
+    # nets (local index) -> transistors whose source/drain touch them
+    ds_on_net: dict[int, list[int]] = defaultdict(list)
+    for edge in graph.edges:
+        dev = graph.elements[edge.element]
+        if not dev.kind.is_transistor or edge.net in power:
+            continue
+        if edge.label & (SOURCE_BIT | DRAIN_BIT):
+            ds_on_net[edge.net].append(edge.element)
+
+    for members in ds_on_net.values():
+        first = members[0]
+        for other in members[1:]:
+            uf.union(first, other)
+
+    # Collect transistor components.
+    root_to_id: dict[int, int] = {}
+    components: list[set[int]] = []
+    of_element: dict[int, int] = {}
+    for idx, dev in enumerate(graph.elements):
+        if not dev.kind.is_transistor:
+            continue
+        root = uf.find(idx)
+        if root not in root_to_id:
+            root_to_id[root] = len(components)
+            components.append(set())
+        cid = root_to_id[root]
+        components[cid].add(idx)
+        of_element[idx] = cid
+
+    # Net -> component adjacency (all terminals count here, including
+    # gates: a gate net inside one CCC driven by another is exactly the
+    # boundary case the paper allows to belong to multiple sub-blocks).
+    of_net: dict[int, set[int]] = defaultdict(set)
+    for edge in graph.edges:
+        cid = of_element.get(edge.element)
+        if cid is not None:
+            of_net[edge.net].add(cid)
+
+    # Passives: join a touching component, else become singletons.
+    # Power nets never bind a passive to a component — a load cap to
+    # ground must not join whichever component also touches ground.
+    for idx, dev in enumerate(graph.elements):
+        if dev.kind.is_transistor:
+            continue
+        touching: set[int] = set()
+        for edge in graph.edges:
+            if edge.element == idx and edge.net not in power:
+                touching |= of_net.get(edge.net, set())
+        if touching:
+            cid = min(touching)
+        else:
+            cid = len(components)
+            components.append(set())
+        components[cid].add(idx)
+        of_element[idx] = cid
+
+    # Refresh net adjacency now that passives are placed.
+    of_net = defaultdict(set)
+    for edge in graph.edges:
+        cid = of_element.get(edge.element)
+        if cid is not None:
+            of_net[edge.net].add(cid)
+
+    return CCCPartition(
+        components=components, of_element=of_element, of_net=dict(of_net)
+    )

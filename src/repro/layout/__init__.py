@@ -1,0 +1,27 @@
+"""Layout use case: constraint-aware placement + wirelength optimization."""
+
+from repro.layout.anneal import AnnealConfig, AnnealResult, anneal_placement
+from repro.layout.geometry import Rect, bounding_box, symmetry_error
+from repro.layout.placer import Layout, device_footprint, place_hierarchy
+from repro.layout.wirelength import (
+    net_hpwl,
+    net_pins,
+    total_wirelength,
+    wirelength_report,
+)
+
+__all__ = [
+    "AnnealConfig",
+    "AnnealResult",
+    "Layout",
+    "Rect",
+    "anneal_placement",
+    "bounding_box",
+    "device_footprint",
+    "net_hpwl",
+    "net_pins",
+    "place_hierarchy",
+    "symmetry_error",
+    "total_wirelength",
+    "wirelength_report",
+]

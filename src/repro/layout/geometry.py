@@ -1,0 +1,92 @@
+"""Rectangles, placements, and symmetry geometry for the layout use case."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import LayoutError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: origin (x, y) plus width/height."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise LayoutError(
+                f"rect must have positive size, got {self.width}×{self.height}"
+            )
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def moved_to(self, x: float, y: float) -> "Rect":
+        return replace(self, x=x, y=y)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Strict interior overlap (shared edges are fine)."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        return Rect(
+            x=x,
+            y=y,
+            width=max(self.x2, other.x2) - x,
+            height=max(self.y2, other.y2) - y,
+        )
+
+    def mirrored_about_x(self, axis_x: float) -> "Rect":
+        """Mirror image about the vertical line x = axis_x."""
+        return replace(self, x=2.0 * axis_x - self.x2)
+
+
+def bounding_box(rects: list[Rect]) -> Rect:
+    """Smallest rectangle covering every input rect."""
+    if not rects:
+        raise LayoutError("bounding_box of no rectangles")
+    box = rects[0]
+    for rect in rects[1:]:
+        box = box.union(rect)
+    return box
+
+
+def symmetry_error(
+    rects: list[tuple[Rect, Rect]], axis_x: float
+) -> float:
+    """Total mismatch of rect pairs about a vertical axis.
+
+    Zero means every pair is perfectly mirrored; used by tests and the
+    benchmark to check the placer honors symmetry constraints.
+    """
+    total = 0.0
+    for left, right in rects:
+        mirrored = right.mirrored_about_x(axis_x)
+        total += abs(mirrored.x - left.x) + abs(mirrored.y - left.y)
+        total += abs(mirrored.width - left.width)
+        total += abs(mirrored.height - left.height)
+    return total

@@ -1,0 +1,64 @@
+"""Wirelength estimation over placements.
+
+The paper's constraint annotation includes MIN_WIRELENGTH for
+parasitic-sensitive RF blocks (Sec. III-C); this module provides the
+metric those constraints optimize: half-perimeter wirelength (HPWL),
+the standard placement objective, computed per net from device pin
+positions (approximated by placed-rect centers).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.layout.placer import Layout
+from repro.spice.netlist import Circuit, is_power_net
+
+
+def net_pins(circuit: Circuit, include_power: bool = False) -> dict[str, list[str]]:
+    """Net → devices touching it (each device counted once per net)."""
+    pins: dict[str, set[str]] = defaultdict(set)
+    for dev in circuit.devices:
+        for net in set(dev.nets):
+            if include_power or not is_power_net(net):
+                pins[net].add(dev.name)
+    return {net: sorted(devs) for net, devs in pins.items()}
+
+
+def net_hpwl(layout: Layout, devices: list[str]) -> float:
+    """Half-perimeter wirelength of one net over placed rect centers.
+
+    Devices missing from the layout are skipped; single-pin (or fully
+    unplaced) nets cost zero.
+    """
+    xs, ys = [], []
+    for name in devices:
+        rect = layout.device_rects.get(name)
+        if rect is not None:
+            cx, cy = rect.center
+            xs.append(cx)
+            ys.append(cy)
+    if len(xs) < 2:
+        return 0.0
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_wirelength(layout: Layout, circuit: Circuit) -> float:
+    """Sum of per-net HPWL over all non-power nets."""
+    return sum(
+        net_hpwl(layout, devices)
+        for devices in net_pins(circuit).values()
+    )
+
+
+def wirelength_report(layout: Layout, circuit: Circuit, top: int = 10) -> str:
+    """Human-readable report: total plus the longest nets."""
+    per_net = {
+        net: net_hpwl(layout, devices)
+        for net, devices in net_pins(circuit).items()
+    }
+    total = sum(per_net.values())
+    lines = [f"total HPWL: {total:.1f} units over {len(per_net)} nets"]
+    for net, value in sorted(per_net.items(), key=lambda kv: -kv[1])[:top]:
+        lines.append(f"  {net:<20} {value:7.1f}")
+    return "\n".join(lines)

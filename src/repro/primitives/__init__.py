@@ -1,0 +1,45 @@
+"""Primitive recognition: the 21-template library + VF2 matching."""
+
+from repro.primitives.isomorphism import (
+    Isomorphism,
+    PatternGraph,
+    VF2Matcher,
+    find_subgraph_isomorphisms,
+)
+from repro.primitives.library import (
+    extended_library,
+    PrimitiveLibrary,
+    PrimitiveTemplate,
+    default_library,
+)
+from repro.primitives.signatures import (
+    CompatibilityFilter,
+    TargetIndex,
+    build_filter,
+    vertex_signatures,
+)
+from repro.primitives.matcher import (
+    AnnotationResult,
+    PrimitiveMatch,
+    annotate_primitives,
+    find_primitive_matches,
+)
+
+__all__ = [
+    "AnnotationResult",
+    "Isomorphism",
+    "PatternGraph",
+    "PrimitiveLibrary",
+    "PrimitiveMatch",
+    "PrimitiveTemplate",
+    "VF2Matcher",
+    "CompatibilityFilter",
+    "TargetIndex",
+    "annotate_primitives",
+    "build_filter",
+    "vertex_signatures",
+    "default_library",
+    "extended_library",
+    "find_primitive_matches",
+    "find_subgraph_isomorphisms",
+]

@@ -1,0 +1,283 @@
+"""VF2 subgraph isomorphism for labeled bipartite circuit graphs
+(Sec. IV-A).
+
+Finds all monomorphisms of a small pattern graph (a primitive template)
+into a target circuit graph, subject to the semantic feasibility the
+paper relies on:
+
+* element vertices map only to element vertices of the same
+  :class:`~repro.spice.netlist.DeviceKind`;
+* net vertices map only to net vertices;
+* every pattern edge must exist in the target with an **identical
+  3-bit label**;
+* *internal* pattern nets (those not in the template's port list) must
+  have the same degree in the target — nothing else may touch them —
+  while port nets may fan out arbitrarily;
+* element vertices always require an exact degree match (their edges
+  are fully determined by their terminals).
+
+The implementation follows Cordella et al.'s VF2: grow a partial
+mapping through candidate pairs drawn from the frontier, pruned by a
+consistency check and a one-look-ahead count.  For a pattern of O(1)
+size and degree the work per accepted vertex is O(1), giving the O(n)
+total the paper argues; ``benchmarks/bench_vf2_scaling.py`` measures
+exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.bipartite import CircuitGraph
+
+
+@dataclass
+class PatternGraph:
+    """A primitive template prepared for matching.
+
+    ``graph`` is the template's bipartite graph; ``boundary_nets`` are
+    the local net indices allowed to fan out beyond the match (template
+    ports).  All other net vertices are internal and matched exactly.
+    """
+
+    graph: CircuitGraph
+    boundary_nets: frozenset[int]
+
+    @classmethod
+    def from_graph(cls, graph: CircuitGraph) -> "PatternGraph":
+        boundary = frozenset(
+            graph.net_index[p] for p in graph.circuit.ports if p in graph.net_index
+        )
+        return cls(graph=graph, boundary_nets=boundary)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+
+@dataclass(frozen=True)
+class Isomorphism:
+    """One match: pattern global-vertex index → target global-vertex index."""
+
+    mapping: tuple[tuple[int, int], ...]
+
+    @property
+    def as_dict(self) -> dict[int, int]:
+        return dict(self.mapping)
+
+
+class _Adjacency:
+    """Precomputed adjacency with labels and vertex kinds for one graph."""
+
+    def __init__(self, graph: CircuitGraph):
+        self.graph = graph
+        self.n = graph.n_vertices
+        self.neighbors: list[dict[int, int]] = [dict() for _ in range(self.n)]
+        for edge in graph.edges:
+            u = edge.element
+            v = graph.n_elements + edge.net
+            self.neighbors[u][v] = edge.label
+            self.neighbors[v][u] = edge.label
+        self.degree = [len(nbrs) for nbrs in self.neighbors]
+        # Vertex kind token: DeviceKind for elements, "net" for nets.
+        self.kind = [
+            graph.elements[i].kind if i < graph.n_elements else "net"
+            for i in range(self.n)
+        ]
+
+
+class VF2Matcher:
+    """All subgraph monomorphisms of a pattern into a target.
+
+    ``use_prefilter`` enables the SubGemini-style signature filter
+    (:mod:`repro.primitives.signatures`): a sound pruning of candidate
+    pairs before and during the search.
+    """
+
+    def __init__(
+        self,
+        pattern: PatternGraph,
+        target: CircuitGraph,
+        use_prefilter: bool = True,
+        target_index=None,
+    ):
+        self.pattern = pattern
+        self.p = _Adjacency(pattern.graph)
+        self.t = _Adjacency(target)
+        self.target = target
+        self.prefilter = None
+        if use_prefilter:
+            from repro.primitives.signatures import build_filter
+
+            self.prefilter = build_filter(pattern, target, target_index)
+        # Pattern vertex order: BFS from the highest-degree element so
+        # each new vertex (after the first) touches the mapped core —
+        # the "next candidate pair P(s)" discipline of VF2.
+        self.order = self._matching_order()
+        n_el = pattern.graph.n_elements
+        self.internal_net = [
+            (v >= n_el) and ((v - n_el) not in pattern.boundary_nets)
+            for v in range(self.p.n)
+        ]
+
+    def _matching_order(self) -> list[int]:
+        n = self.p.n
+        if n == 0:
+            return []
+        start = max(range(n), key=lambda v: self.p.degree[v])
+        seen = [False] * n
+        order = [start]
+        seen[start] = True
+        frontier = [start]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in sorted(
+                    self.p.neighbors[u], key=lambda w: -self.p.degree[w]
+                ):
+                    if not seen[v]:
+                        seen[v] = True
+                        order.append(v)
+                        nxt.append(v)
+            frontier = nxt
+        # Disconnected template vertices (shouldn't happen for real
+        # primitives) go last.
+        for v in range(n):
+            if not seen[v]:
+                order.append(v)
+        return order
+
+    # -- feasibility ----------------------------------------------------
+
+    def _semantic_ok(self, pv: int, tv: int) -> bool:
+        if self.prefilter is not None and not self.prefilter.ok(pv, tv):
+            return False
+        if self.p.kind[pv] != self.t.kind[tv]:
+            return False
+        p_deg, t_deg = self.p.degree[pv], self.t.degree[tv]
+        if pv < self.pattern.graph.n_elements:
+            return p_deg == t_deg  # element terminals are fully specified
+        if self.internal_net[pv]:
+            return p_deg == t_deg  # internal nets: nothing else touches
+        return t_deg >= p_deg  # boundary nets may fan out
+
+    def _consistent(
+        self, pv: int, tv: int, core_p: dict[int, int], core_t: dict[int, int]
+    ) -> bool:
+        # Every already-mapped pattern neighbor must be a target neighbor
+        # with the same label; and (for exact-degree vertices) every
+        # mapped target neighbor must correspond back.
+        for pn, label in self.p.neighbors[pv].items():
+            if pn in core_p:
+                tn = core_p[pn]
+                if self.t.neighbors[tv].get(tn) != label:
+                    return False
+        # Reverse direction: iterate the O(1)-size mapped core rather
+        # than tv's (possibly huge — think power rails) neighbor list,
+        # keeping the per-pair cost constant and VF2 O(n) overall.
+        for tn, pn in core_t.items():
+            if tn not in self.t.neighbors[tv]:
+                continue
+            if pn not in self.p.neighbors[pv]:
+                # A mapped target neighbor with no pattern edge is
+                # only acceptable through a boundary net on the
+                # *other* endpoint — elements/internal nets of the
+                # pattern must not gain edges among themselves.
+                if not (
+                    pn >= self.pattern.graph.n_elements
+                    and not self.internal_net[pn]
+                ) and not (
+                    pv >= self.pattern.graph.n_elements
+                    and not self.internal_net[pv]
+                ):
+                    return False
+        return True
+
+    def _lookahead_ok(self, pv: int, tv: int, core_p: dict[int, int]) -> bool:
+        # One-look-ahead: the candidate target vertex must offer at
+        # least as many unmapped neighbors as the pattern vertex needs.
+        # Count tv's mapped neighbors through the O(1)-size core, not
+        # through tv's neighbor list (power rails have O(n) neighbors).
+        p_need = sum(1 for pn in self.p.neighbors[pv] if pn not in core_p)
+        t_mapped = sum(
+            1 for tn in self._core_t if tn in self.t.neighbors[tv]
+        )
+        return self.t.degree[tv] - t_mapped >= p_need
+
+    # -- search -----------------------------------------------------------
+
+    def find_all(self, limit: int | None = None) -> list[Isomorphism]:
+        """Enumerate matches (optionally stopping after ``limit``)."""
+        self._results: list[Isomorphism] = []
+        if self.prefilter is not None and not self.prefilter.is_feasible:
+            return self._results  # some pattern vertex has no host at all
+        self._limit = limit
+        self._core_p: dict[int, int] = {}
+        self._core_t: dict[int, int] = {}
+        self._search(0)
+        return self._results
+
+    def exists(self) -> bool:
+        """True when at least one match exists (early exit)."""
+        return bool(self.find_all(limit=1))
+
+    def _candidates(self, depth: int) -> list[int]:
+        pv = self.order[depth]
+        # Candidates: target neighbors of already-mapped pattern
+        # neighbors of pv (frontier discipline); for the first vertex,
+        # every kind-compatible target vertex.
+        mapped_neighbors = [
+            self._core_p[pn] for pn in self.p.neighbors[pv] if pn in self._core_p
+        ]
+        if mapped_neighbors:
+            # Intersect starting from the smallest neighbor set so a
+            # mapped power rail (O(n) neighbors) doesn't blow up the
+            # candidate pool.
+            base = min(
+                mapped_neighbors, key=lambda tn: len(self.t.neighbors[tn])
+            )
+            pool = set(self.t.neighbors[base])
+            for tn in mapped_neighbors:
+                if tn is not base:
+                    pool &= set(self.t.neighbors[tn])
+            return [tv for tv in pool if tv not in self._core_t]
+        if self.prefilter is not None:
+            return [
+                tv
+                for tv in self.prefilter.allowed[pv]
+                if tv not in self._core_t
+            ]
+        return [
+            tv
+            for tv in range(self.t.n)
+            if tv not in self._core_t and self.t.kind[tv] == self.p.kind[pv]
+        ]
+
+    def _search(self, depth: int) -> None:
+        if self._limit is not None and len(self._results) >= self._limit:
+            return
+        if depth == len(self.order):
+            self._results.append(
+                Isomorphism(mapping=tuple(sorted(self._core_p.items())))
+            )
+            return
+        pv = self.order[depth]
+        for tv in self._candidates(depth):
+            if not self._semantic_ok(pv, tv):
+                continue
+            if not self._consistent(pv, tv, self._core_p, self._core_t):
+                continue
+            if not self._lookahead_ok(pv, tv, self._core_p):
+                continue
+            self._core_p[pv] = tv
+            self._core_t[tv] = pv
+            self._search(depth + 1)
+            del self._core_p[pv]
+            del self._core_t[tv]
+
+
+def find_subgraph_isomorphisms(
+    pattern: PatternGraph, target: CircuitGraph, limit: int | None = None
+) -> list[Isomorphism]:
+    """Convenience wrapper around :class:`VF2Matcher`."""
+    return VF2Matcher(pattern, target).find_all(limit=limit)

@@ -1,0 +1,161 @@
+"""Primitive annotation: match the template library into a circuit
+graph (Sec. IV-A).
+
+For every library template the matcher runs VF2 against the target,
+filters matches through the template's port-role predicates, collapses
+automorphic duplicates (a differential pair matches twice under its own
+symmetry), and resolves overlaps largest-template-first so that, e.g.,
+a cascode current mirror is not also reported as two simple mirrors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import Constraint
+from repro.graph.bipartite import CircuitGraph
+from repro.primitives.isomorphism import Isomorphism, VF2Matcher
+from repro.primitives.library import PrimitiveLibrary, PrimitiveTemplate
+
+
+@dataclass(frozen=True)
+class PrimitiveMatch:
+    """One recognized primitive instance in the target circuit."""
+
+    primitive: str
+    element_map: tuple[tuple[str, str], ...]  # template device → target device
+    net_map: tuple[tuple[str, str], ...]  # template net → target net
+    constraints: tuple[Constraint, ...]  # already renamed to target devices
+
+    @property
+    def elements(self) -> frozenset[str]:
+        """Target device names claimed by this match."""
+        return frozenset(name for _, name in self.element_map)
+
+    @property
+    def element_dict(self) -> dict[str, str]:
+        return dict(self.element_map)
+
+    @property
+    def net_dict(self) -> dict[str, str]:
+        return dict(self.net_map)
+
+    def describe(self) -> str:
+        devices = ", ".join(sorted(self.elements))
+        return f"{self.primitive}({devices})"
+
+
+def _match_from_isomorphism(
+    template: PrimitiveTemplate, target: CircuitGraph, iso: Isomorphism
+) -> PrimitiveMatch | None:
+    """Translate a raw vertex mapping into named maps; apply predicates."""
+    pattern_graph = template.graph
+    element_map: list[tuple[str, str]] = []
+    net_map: list[tuple[str, str]] = []
+    for pv, tv in iso.mapping:
+        if pv < pattern_graph.n_elements:
+            element_map.append(
+                (pattern_graph.elements[pv].name, target.elements[tv].name)
+            )
+        else:
+            template_net = pattern_graph.nets[pv - pattern_graph.n_elements]
+            target_net = target.nets[tv - target.n_elements]
+            net_map.append((template_net, target_net))
+            if template_net in pattern_graph.circuit.ports:
+                if not template.port_net_ok(template_net, target_net):
+                    return None
+    rename = dict(element_map)
+    constraints = tuple(
+        c.renamed(rename).with_source(template.name) for c in template.constraints
+    )
+    return PrimitiveMatch(
+        primitive=template.name,
+        element_map=tuple(sorted(element_map)),
+        net_map=tuple(sorted(net_map)),
+        constraints=constraints,
+    )
+
+
+def find_primitive_matches(
+    template: PrimitiveTemplate,
+    target: CircuitGraph,
+    target_index=None,
+) -> list[PrimitiveMatch]:
+    """All predicate-respecting, deduplicated matches of one template.
+
+    ``target_index`` (a :class:`repro.primitives.signatures.TargetIndex`)
+    shares the signature tables across templates of one circuit.
+    """
+    matcher = VF2Matcher(template.pattern, target, target_index=target_index)
+    matches: list[PrimitiveMatch] = []
+    seen: set[frozenset[str]] = set()
+    for iso in matcher.find_all():
+        match = _match_from_isomorphism(template, target, iso)
+        if match is None:
+            continue
+        key = match.elements
+        if key in seen:
+            continue  # automorphic duplicate (e.g. DP arm swap)
+        seen.add(key)
+        matches.append(match)
+    return matches
+
+
+@dataclass
+class AnnotationResult:
+    """Outcome of annotating a circuit with the primitive library."""
+
+    matches: list[PrimitiveMatch] = field(default_factory=list)
+    unclaimed: list[str] = field(default_factory=list)  # device names
+
+    @property
+    def claimed(self) -> set[str]:
+        out: set[str] = set()
+        for match in self.matches:
+            out |= match.elements
+        return out
+
+    def constraints(self) -> list[Constraint]:
+        out: list[Constraint] = []
+        for match in self.matches:
+            out.extend(match.constraints)
+        return out
+
+    def by_primitive(self) -> dict[str, list[PrimitiveMatch]]:
+        grouped: dict[str, list[PrimitiveMatch]] = {}
+        for match in self.matches:
+            grouped.setdefault(match.primitive, []).append(match)
+        return grouped
+
+
+def annotate_primitives(
+    target: CircuitGraph,
+    library: PrimitiveLibrary,
+    allow_overlap: bool = False,
+) -> AnnotationResult:
+    """Recognize every primitive in ``target``.
+
+    Default behaviour claims each device for at most one primitive,
+    visiting templates largest-first; ``allow_overlap=True`` reports
+    every match regardless (useful for analysis/tests).
+    """
+    from repro.primitives.signatures import TargetIndex
+
+    result = AnnotationResult()
+    claimed: set[str] = set()
+    all_matched: set[str] = set()
+    index = TargetIndex.build(target)
+    for template in library.by_size_desc():
+        for match in find_primitive_matches(template, target, index):
+            elements = match.elements
+            if not allow_overlap and elements & claimed:
+                continue
+            result.matches.append(match)
+            all_matched |= elements
+            if not allow_overlap:
+                claimed |= elements
+    covered = claimed if not allow_overlap else all_matched
+    result.unclaimed = [
+        dev.name for dev in target.elements if dev.name not in covered
+    ]
+    return result

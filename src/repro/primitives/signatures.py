@@ -1,0 +1,151 @@
+"""SubGemini-style vertex signatures (the paper's ref [12]).
+
+SubGemini (Ohlrich et al., DAC'93) — the source of GANA's bipartite
+graph representation — prunes subgraph matching with neighborhood
+labels before any backtracking.  This module implements that idea as a
+sound prefilter for our VF2: each vertex gets a *signature*, the
+multiset of ``(edge label, neighbor kind)`` pairs on its incident
+edges, and a pattern vertex can only map to a target vertex whose
+signature **covers** it (count-wise ≥ for boundary nets, = for
+elements and internal nets, since those may gain no extra edges).
+
+Soundness (never discarding a true match) is what the property tests
+check; the payoff is measured by ``bench_vf2_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.bipartite import CircuitGraph
+from repro.primitives.isomorphism import PatternGraph
+
+#: Signature: (edge_label, neighbor_kind_token) → count.
+Signature = Counter
+
+
+def _kind_token(graph: CircuitGraph, vertex: int) -> object:
+    if vertex < graph.n_elements:
+        return graph.elements[vertex].kind
+    return "net"
+
+
+def vertex_signatures(graph: CircuitGraph) -> list[Signature]:
+    """Per-vertex incident-edge signatures, O(E) total."""
+    signatures: list[Signature] = [Counter() for _ in range(graph.n_vertices)]
+    for edge in graph.edges:
+        u = edge.element
+        v = graph.n_elements + edge.net
+        signatures[u][(edge.label, "net")] += 1
+        signatures[v][(edge.label, graph.elements[u].kind)] += 1
+    return signatures
+
+
+def frozen_signatures(
+    signatures: list[Signature],
+) -> list[tuple]:
+    """Hashable canonical form (repr-sorted item tuples) for O(1)
+    equality.  Keys mix ints with :class:`DeviceKind`, which are not
+    mutually orderable, so the sort key is the item's repr."""
+    return [
+        tuple(sorted(sig.items(), key=repr)) for sig in signatures
+    ]
+
+
+def signature_covers(
+    pattern_sig: Signature, target_sig: Signature, exact: bool
+) -> bool:
+    """Can a vertex with ``target_sig`` host one with ``pattern_sig``?
+
+    ``exact`` requires equal counts (elements and internal nets);
+    otherwise the target may have extra edges of any kind.
+    """
+    if exact:
+        return pattern_sig == target_sig
+    for key, needed in pattern_sig.items():
+        if target_sig[key] < needed:
+            return False
+    return True
+
+
+@dataclass
+class CompatibilityFilter:
+    """Precomputed pattern-vertex → allowed-target-vertices sets."""
+
+    allowed: list[set[int]]
+
+    def ok(self, pv: int, tv: int) -> bool:
+        return tv in self.allowed[pv]
+
+    @property
+    def is_feasible(self) -> bool:
+        """False when some pattern vertex has no candidate at all —
+        the whole match can be rejected without any search."""
+        return all(self.allowed)
+
+
+@dataclass
+class TargetIndex:
+    """Reusable per-target signature tables.
+
+    Building this once per circuit (``TargetIndex.build``) and passing
+    it to :func:`build_filter` for every template amortizes the O(E)
+    signature computation across the whole library.
+    """
+
+    signatures: list[Signature]
+    frozen: list[tuple]
+    by_kind: dict[object, list[int]]
+    by_exact: dict[tuple, list[int]]  # (kind, frozen signature) buckets
+
+    @classmethod
+    def build(cls, target: CircuitGraph) -> "TargetIndex":
+        signatures = vertex_signatures(target)
+        frozen = frozen_signatures(signatures)
+        by_kind: dict[object, list[int]] = {}
+        by_exact: dict[tuple, list[int]] = {}
+        for tv in range(target.n_vertices):
+            kind = _kind_token(target, tv)
+            by_kind.setdefault(kind, []).append(tv)
+            by_exact.setdefault((kind, frozen[tv]), []).append(tv)
+        return cls(
+            signatures=signatures,
+            frozen=frozen,
+            by_kind=by_kind,
+            by_exact=by_exact,
+        )
+
+
+def build_filter(
+    pattern: PatternGraph,
+    target: CircuitGraph,
+    index: TargetIndex | None = None,
+) -> CompatibilityFilter:
+    """Signature compatibility for every (pattern, target) vertex pair.
+
+    Exact-signature pattern vertices (elements, internal nets) resolve
+    through a hash bucket in O(1); boundary nets scan their kind bucket
+    with O(1) work per candidate — linear in the target overall.
+    """
+    p_graph = pattern.graph
+    p_sigs = vertex_signatures(p_graph)
+    p_frozen = frozen_signatures(p_sigs)
+    index = index or TargetIndex.build(target)
+    n_el = p_graph.n_elements
+
+    allowed: list[set[int]] = []
+    for pv in range(p_graph.n_vertices):
+        exact = pv < n_el or ((pv - n_el) not in pattern.boundary_nets)
+        kind = _kind_token(p_graph, pv)
+        if exact:
+            ok = set(index.by_exact.get((kind, p_frozen[pv]), ()))
+        else:
+            sig = p_sigs[pv]
+            ok = {
+                tv
+                for tv in index.by_kind.get(kind, ())
+                if signature_covers(sig, index.signatures[tv], exact=False)
+            }
+        allowed.append(ok)
+    return CompatibilityFilter(allowed=allowed)

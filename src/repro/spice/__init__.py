@@ -1,0 +1,46 @@
+"""SPICE netlist substrate: parsing, data model, flattening, writing.
+
+Public surface::
+
+    from repro.spice import parse_netlist, flatten, preprocess, write_netlist
+"""
+
+from repro.spice.flatten import flatten, instance_path
+from repro.spice.netlist import (
+    Circuit,
+    Device,
+    DeviceKind,
+    Instance,
+    Netlist,
+    is_ground_net,
+    is_power_net,
+    is_supply_net,
+    make_mos,
+    make_passive,
+)
+from repro.spice.parser import parse_netlist
+from repro.spice.preprocess import PreprocessReport, preprocess
+from repro.spice.units import format_spice_number, is_spice_number, parse_spice_number
+from repro.spice.writer import write_circuit, write_netlist
+
+__all__ = [
+    "Circuit",
+    "Device",
+    "DeviceKind",
+    "Instance",
+    "Netlist",
+    "PreprocessReport",
+    "flatten",
+    "format_spice_number",
+    "instance_path",
+    "is_ground_net",
+    "is_power_net",
+    "is_spice_number",
+    "is_supply_net",
+    "make_mos",
+    "make_passive",
+    "parse_netlist",
+    "preprocess",
+    "write_circuit",
+    "write_netlist",
+]

@@ -1,0 +1,137 @@
+"""Netlist hierarchy flattening (Sec. II-B, "Netlist flattening").
+
+GANA bypasses designer-specified hierarchies: different design houses
+split, say, bias networks and signal paths into different subcircuits,
+which would break current-mirror recognition across the boundary.
+:func:`flatten` expands every ``X`` instance recursively into the top
+level, producing one flat :class:`~repro.spice.netlist.Circuit`.
+
+Naming: a device ``m1`` inside instance ``xota`` becomes ``xota/m1``;
+an internal net ``n1`` becomes ``xota/n1``.  Ports are connected to the
+caller's nets; global nets (``.global`` plus supply/ground by
+convention) keep their names at every depth.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ElaborationError
+from repro.spice.netlist import Circuit, Netlist, is_power_net
+
+#: Separator between instance path components in flattened names.
+SEP = "/"
+
+#: Safety bound on hierarchy depth; analog decks are shallow, so hitting
+#: this means recursive instantiation.
+MAX_DEPTH = 64
+
+
+def _flatten_into(
+    netlist: Netlist,
+    circuit: Circuit,
+    prefix: str,
+    net_map: dict[str, str],
+    out: Circuit,
+    depth: int,
+    stack: tuple[str, ...],
+    multiplier: float = 1.0,
+) -> None:
+    if depth > MAX_DEPTH:
+        raise ElaborationError(
+            f"hierarchy deeper than {MAX_DEPTH}; instantiation cycle via {stack}"
+        )
+
+    def resolve(net: str) -> str:
+        if net in net_map:
+            return net_map[net]
+        if net in netlist.globals_ or is_power_net(net):
+            return net
+        return f"{prefix}{net}" if prefix else net
+
+    for dev in circuit.devices:
+        local_map = {n: resolve(n) for n in dev.nets}
+        renamed = dev.renamed(f"{prefix}{dev.name}", local_map)
+        if multiplier != 1.0:
+            renamed = _apply_multiplier(renamed, multiplier)
+        out.add(renamed)
+
+    for inst in circuit.instances:
+        if inst.subckt in stack:
+            raise ElaborationError(
+                f"recursive instantiation of {inst.subckt!r} via {stack}"
+            )
+        child = netlist.subckt(inst.subckt)
+        if len(child.ports) != len(inst.nets):
+            raise ElaborationError(
+                f"instance {prefix}{inst.name}: {inst.subckt!r} has "
+                f"{len(child.ports)} ports but {len(inst.nets)} nets given"
+            )
+        child_map = {
+            port: resolve(net) for port, net in zip(child.ports, inst.nets)
+        }
+        inst_mult = dict(inst.params).get("m", 1.0)
+        _flatten_into(
+            netlist,
+            child,
+            prefix=f"{prefix}{inst.name}{SEP}",
+            net_map=child_map,
+            out=out,
+            depth=depth + 1,
+            stack=stack + (inst.subckt,),
+            multiplier=multiplier * inst_mult,
+        )
+
+
+def _apply_multiplier(dev, multiplier: float):
+    """Scale a device by an instance multiplier (``x1 ... cell m=2``).
+
+    MOS devices multiply their ``m`` parameter; capacitors scale their
+    value up; resistors and inductors scale down (parallel combination)
+    — the standard SPICE semantics of subcircuit multipliers.
+    """
+    from dataclasses import replace
+
+    from repro.spice.netlist import DeviceKind
+
+    if dev.kind.is_transistor:
+        base = dev.param("m", 1.0) or 1.0
+        params = tuple(
+            (k, base * multiplier if k == "m" else v) for k, v in dev.params
+        )
+        if "m" not in {k for k, _ in params}:
+            params = params + (("m", base * multiplier),)
+        return replace(dev, params=params)
+    if dev.value is None:
+        return dev
+    if dev.kind is DeviceKind.CAPACITOR or dev.kind.is_source:
+        return replace(dev, value=dev.value * multiplier)
+    if dev.kind in (DeviceKind.RESISTOR, DeviceKind.INDUCTOR):
+        return replace(dev, value=dev.value / multiplier)
+    return dev
+
+
+def flatten(netlist: Netlist) -> Circuit:
+    """Expand all subcircuit instances into one flat circuit.
+
+    The result has the same ports as the input top level and contains
+    only leaf :class:`~repro.spice.netlist.Device` cards.
+    """
+    out = Circuit(name=netlist.top.name, ports=netlist.top.ports)
+    _flatten_into(
+        netlist,
+        netlist.top,
+        prefix="",
+        net_map={p: p for p in netlist.top.ports},
+        out=out,
+        depth=0,
+        stack=(),
+    )
+    return out
+
+
+def instance_path(flat_name: str) -> tuple[str, ...]:
+    """Split a flattened device/net name back into its hierarchy path.
+
+    >>> instance_path("xfilter/xota/m1")
+    ('xfilter', 'xota', 'm1')
+    """
+    return tuple(flat_name.split(SEP))

@@ -1,0 +1,102 @@
+"""SPICE deck tokenizer.
+
+Handles the line-oriented SPICE surface syntax so the parser can work on
+clean logical lines:
+
+* ``+`` continuation lines are joined to their predecessor,
+* ``*`` full-line comments and ``$``/``;`` trailing comments are dropped,
+* everything is lower-cased (SPICE is case-insensitive) except nothing —
+  we lower-case uniformly because net/device identity in this package is
+  case-insensitive, matching common simulators,
+* ``name=value`` parameter tokens are kept as single tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SpiceSyntaxError
+
+
+@dataclass(frozen=True)
+class LogicalLine:
+    """One continuation-joined, comment-stripped SPICE statement."""
+
+    number: int  # 1-based line number of the first physical line
+    tokens: tuple[str, ...]
+
+    @property
+    def card(self) -> str:
+        """The leading token, lower-case (e.g. ``m1``, ``.subckt``)."""
+        return self.tokens[0]
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``$`` and ``;`` trailing comments."""
+    for marker in ("$", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line
+
+
+def _tokenize(line: str) -> list[str]:
+    """Split a logical line into tokens, gluing ``a = b`` into ``a=b``.
+
+    SPICE permits spaces around ``=`` in parameter assignments; the
+    parser is simpler if each assignment is exactly one token.
+    Waveform parentheses (``SIN(0 1 1G)``) act as plain separators so
+    the shape keyword and its numbers tokenize individually.
+    """
+    raw = (
+        line.replace("(", " ").replace(")", " ").replace("=", " = ").split()
+    )
+    tokens: list[str] = []
+    i = 0
+    while i < len(raw):
+        if raw[i] == "=":
+            if not tokens or i + 1 >= len(raw):
+                raise SpiceSyntaxError(f"dangling '=' in {line!r}")
+            tokens[-1] = f"{tokens[-1]}={raw[i + 1]}"
+            i += 2
+        else:
+            tokens.append(raw[i])
+            i += 1
+    return tokens
+
+
+def lex(text: str) -> list[LogicalLine]:
+    """Tokenize a SPICE deck into logical lines.
+
+    The first line of a SPICE deck is traditionally a title; it is kept
+    as a logical line with card ``.title`` unless it already starts with
+    a dot directive, a comment, or a device letter followed by valid
+    syntax — we adopt the simple, predictable rule that a *title line is
+    only assumed when the first line starts with neither a dot, a
+    letter-digit device pattern, nor a comment*.  In practice all decks
+    in this package begin with ``* comment`` or ``.title``.
+    """
+    physical = text.splitlines()
+    logical: list[LogicalLine] = []
+    pending: list[str] | None = None
+    pending_number = 0
+
+    for number, line in enumerate(physical, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        stripped = _strip_comment(stripped).strip()
+        if not stripped:
+            continue
+        if stripped.startswith("+"):
+            if pending is None:
+                raise SpiceSyntaxError("continuation with no previous line", number)
+            pending.extend(_tokenize(stripped[1:]))
+            continue
+        if pending is not None:
+            logical.append(LogicalLine(pending_number, tuple(t.lower() for t in pending)))
+        pending = _tokenize(stripped)
+        pending_number = number
+    if pending is not None:
+        logical.append(LogicalLine(pending_number, tuple(t.lower() for t in pending)))
+    return logical

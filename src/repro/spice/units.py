@@ -1,0 +1,94 @@
+"""SPICE numeric literals.
+
+SPICE numbers are floats with an optional engineering suffix and an
+optional trailing unit string that simulators ignore (``10uF`` means
+``10e-6``).  Suffixes are case-insensitive; ``m`` is milli and ``meg``
+is mega, the classic trap this module gets right.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import SpiceSyntaxError
+
+#: Engineering suffixes recognized by SPICE, longest first so that
+#: ``meg``/``mil`` are not mis-read as ``m``.
+_SUFFIXES: tuple[tuple[str, float], ...] = (
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+)
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+        (?P<mantissa>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<rest>[a-zA-Z]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_spice_number(text: str) -> float:
+    """Parse a SPICE numeric literal into a float.
+
+    >>> parse_spice_number("2.2u")
+    2.2e-06
+    >>> parse_spice_number("10meg")
+    10000000.0
+    >>> parse_spice_number("1.5kOhm")
+    1500.0
+
+    Raises :class:`SpiceSyntaxError` if ``text`` is not numeric.
+    """
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise SpiceSyntaxError(f"not a SPICE number: {text!r}")
+    value = float(match.group("mantissa"))
+    rest = match.group("rest").lower()
+    for suffix, scale in _SUFFIXES:
+        if rest.startswith(suffix):
+            return value * scale
+    # No recognized suffix: any trailing letters are a unit tag (e.g. "F").
+    return value
+
+
+def is_spice_number(text: str) -> bool:
+    """Return True if ``text`` parses as a SPICE numeric literal."""
+    try:
+        parse_spice_number(text)
+    except SpiceSyntaxError:
+        return False
+    return True
+
+
+def format_spice_number(value: float) -> str:
+    """Format a float with the most compact engineering suffix.
+
+    Chosen so that ``parse_spice_number(format_spice_number(x))`` is
+    within floating-point rounding of ``x``.
+
+    >>> format_spice_number(2.2e-06)
+    '2.2u'
+    """
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    for suffix, scale in (
+        ("t", 1e12), ("meg", 1e6), ("k", 1e3), ("", 1.0),
+        ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12),
+        ("f", 1e-15), ("a", 1e-18),
+    ):
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.6g}"
+            return f"{text}{suffix}"
+    return f"{value:.6g}"

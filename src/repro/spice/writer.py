@@ -1,0 +1,90 @@
+"""Netlist → SPICE text serialization.
+
+The writer emits decks that :func:`repro.spice.parser.parse_netlist`
+reads back into an equivalent :class:`~repro.spice.netlist.Netlist`
+(round-trip property, exercised by the hypothesis tests).  SPICE device
+names must begin with the letter of their card type; the writer
+prefixes a type letter when a name does not already carry it.
+"""
+
+from __future__ import annotations
+
+from repro.spice.netlist import Circuit, Device, DeviceKind, Instance, Netlist
+from repro.spice.units import format_spice_number
+
+_CARD_LETTER: dict[DeviceKind, str] = {
+    DeviceKind.NMOS: "m",
+    DeviceKind.PMOS: "m",
+    DeviceKind.RESISTOR: "r",
+    DeviceKind.CAPACITOR: "c",
+    DeviceKind.INDUCTOR: "l",
+    DeviceKind.VSOURCE: "v",
+    DeviceKind.ISOURCE: "i",
+    DeviceKind.DIODE: "d",
+}
+
+
+def _card_name(dev: Device) -> str:
+    """Ensure the device name starts with its SPICE card letter.
+
+    Flattened names like ``xota/m1`` keep hierarchy but must still lead
+    with the card letter, so path separators are folded into ``_``.
+    """
+    flat = dev.name.replace("/", "_")
+    letter = _CARD_LETTER[dev.kind]
+    if flat.startswith(letter):
+        return flat
+    return f"{letter}{flat}"
+
+
+def _device_line(dev: Device) -> str:
+    tokens: list[str] = [_card_name(dev)]
+    tokens.extend(net for _, net in dev.pins)
+    if dev.kind.is_transistor:
+        tokens.append(dev.model or dev.kind.value)
+    else:
+        if dev.value is not None:
+            tokens.append(format_spice_number(dev.value))
+        elif dev.model:
+            tokens.append(dev.model)
+    for key, val in dev.params:
+        tokens.append(f"{key}={format_spice_number(val)}")
+    return " ".join(tokens)
+
+
+def _instance_line(inst: Instance) -> str:
+    name = inst.name.replace("/", "_")
+    if not name.startswith("x"):
+        name = f"x{name}"
+    tokens = [name, *inst.nets, inst.subckt]
+    tokens.extend(f"{k}={format_spice_number(v)}" for k, v in inst.params)
+    return " ".join(tokens)
+
+
+def _circuit_lines(circuit: Circuit) -> list[str]:
+    lines = [_device_line(d) for d in circuit.devices]
+    lines.extend(_instance_line(i) for i in circuit.instances)
+    return lines
+
+
+def write_netlist(netlist: Netlist) -> str:
+    """Serialize a full netlist (title, models, subckts, top, .end)."""
+    lines: list[str] = [f"* {netlist.title or netlist.top.name}"]
+    if netlist.globals_:
+        lines.append(".global " + " ".join(netlist.globals_))
+    for name, kind in sorted(netlist.models.items()):
+        mtype = {"nmos": "nmos", "pmos": "pmos"}.get(kind.value, kind.value)
+        lines.append(f".model {name} {mtype}")
+    for sub in netlist.subckts.values():
+        lines.append(f".subckt {sub.name} " + " ".join(sub.ports))
+        lines.extend(_circuit_lines(sub))
+        lines.append(".ends")
+    lines.extend(_circuit_lines(netlist.top))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_circuit(circuit: Circuit, title: str = "") -> str:
+    """Serialize a single flat circuit as a standalone deck."""
+    netlist = Netlist(title=title or circuit.name, top=circuit)
+    return write_netlist(netlist)

@@ -1,0 +1,5 @@
+"""Small shared utilities (seeded RNG helpers, logging)."""
+
+from repro.utils.rng import seeded_rng, stable_hash
+
+__all__ = ["seeded_rng", "stable_hash"]

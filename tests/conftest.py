@@ -1,0 +1,73 @@
+"""Shared fixtures: canonical decks, graphs, and a session-scoped
+quick-trained annotator (so expensive training happens once)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import CircuitGraph
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+
+#: The Fig. 3 differential OTA (simplified, no body terminals shown in
+#: the paper; bodies default to the rails here).
+DIFF_OTA_DECK = """
+* differential ota (paper fig. 3)
+m0 n1 n1 gnd! gnd! nmos w=1u l=100n
+m1 id n1 gnd! gnd! nmos w=1u l=100n
+m2 voutn vinp id gnd! nmos w=2u l=100n
+m3 voutp vinn id gnd! nmos w=2u l=100n
+m4 voutn vbp vdd! vdd! pmos w=4u l=100n
+m5 voutp vbp vdd! vdd! pmos w=4u l=100n
+.end
+"""
+
+#: The Fig. 2 two-transistor NMOS current mirror.
+CURRENT_MIRROR_DECK = """
+* nmos current mirror (paper fig. 2)
+m0 d1 d1 s gnd! nmos w=1u l=100n
+m1 d2 d1 s gnd! nmos w=1u l=100n
+.end
+"""
+
+HIERARCHICAL_DECK = """
+* hierarchical deck exercising flattening
+.global vdd! gnd!
+.subckt inverter in out
+mn out in gnd! gnd! nmos w=1u l=100n
+mp out in vdd! vdd! pmos w=2u l=100n
+.ends
+.subckt buffer in out
+x1 in mid inverter
+x2 mid out inverter
+.ends
+xbuf a b buffer
+rload b gnd! 10k
+.end
+"""
+
+
+@pytest.fixture()
+def diff_ota_graph() -> CircuitGraph:
+    return CircuitGraph.from_circuit(flatten(parse_netlist(DIFF_OTA_DECK)))
+
+
+@pytest.fixture()
+def current_mirror_graph() -> CircuitGraph:
+    return CircuitGraph.from_circuit(flatten(parse_netlist(CURRENT_MIRROR_DECK)))
+
+
+@pytest.fixture(scope="session")
+def quick_ota_annotator():
+    """A small but usable OTA annotator, trained once per session."""
+    from repro.datasets.synth import pretrain_annotator
+
+    return pretrain_annotator("ota", quick=True, train_size=150, seed=0)
+
+
+@pytest.fixture(scope="session")
+def quick_rf_annotator():
+    """A small but usable RF annotator, trained once per session."""
+    from repro.datasets.synth import pretrain_annotator
+
+    return pretrain_annotator("rf", quick=True, train_size=150, seed=0)

@@ -1,0 +1,88 @@
+"""Annotation container and GCN annotator wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotator import Annotation, GcnAnnotator
+from repro.gcn.model import GCNConfig, GCNModel
+
+
+def _annotation(diff_ota_graph, classes=("ota", "bias")) -> Annotation:
+    n = diff_ota_graph.n_vertices
+    vertex_classes = np.zeros(n, dtype=np.int64)
+    vertex_classes[0] = 1
+    return Annotation(
+        graph=diff_ota_graph,
+        class_names=classes,
+        vertex_classes=vertex_classes,
+    )
+
+
+class TestAnnotation:
+    def test_element_classes(self, diff_ota_graph):
+        ann = _annotation(diff_ota_graph)
+        classes = ann.element_classes
+        assert classes["m0"] == "bias"
+        assert classes["m1"] == "ota"
+
+    def test_net_classes(self, diff_ota_graph):
+        ann = _annotation(diff_ota_graph)
+        assert set(ann.net_classes.values()) == {"ota"}
+
+    def test_accuracy_against_truth(self, diff_ota_graph):
+        ann = _annotation(diff_ota_graph)
+        truth = {"m0": "bias", "m1": "ota", "m2": "bias"}
+        assert ann.accuracy(truth) == pytest.approx(2 / 3)
+
+    def test_accuracy_devices_only(self, diff_ota_graph):
+        ann = _annotation(diff_ota_graph)
+        truth = {"m0": "bias", "voutp": "bias"}  # net wrong, excluded
+        assert ann.accuracy(truth, devices_only=True) == 1.0
+
+    def test_accuracy_empty_truth(self, diff_ota_graph):
+        assert _annotation(diff_ota_graph).accuracy({}) == 1.0
+
+    def test_extra_classes(self, diff_ota_graph):
+        ann = _annotation(diff_ota_graph)
+        cls_id = ann.class_id("bpf", create=True)
+        assert ann.class_name(cls_id) == "bpf"
+        assert "bpf" in ann.all_class_names
+        with pytest.raises(KeyError):
+            ann.class_id("nope")
+
+    def test_unclassified_renders_question_mark(self, diff_ota_graph):
+        ann = _annotation(diff_ota_graph)
+        assert ann.class_name(-1) == "?"
+
+    def test_copy_independent(self, diff_ota_graph):
+        ann = _annotation(diff_ota_graph)
+        twin = ann.copy()
+        twin.vertex_classes[:] = 0
+        assert ann.vertex_classes[0] == 1
+
+
+class TestGcnAnnotator:
+    def _model(self, n_classes=2):
+        return GCNModel(
+            GCNConfig(
+                n_classes=n_classes, filter_size=4, channels=(4, 4),
+                fc_size=8, dropout=0.0, batch_norm=False,
+            )
+        )
+
+    def test_class_count_validated(self):
+        with pytest.raises(ValueError):
+            GcnAnnotator(model=self._model(2), class_names=("a", "b", "c"))
+
+    def test_annotate_produces_probabilities(self, diff_ota_graph):
+        annotator = GcnAnnotator(model=self._model(), class_names=("ota", "bias"))
+        ann = annotator.annotate(diff_ota_graph)
+        assert ann.probabilities.shape == (diff_ota_graph.n_vertices, 2)
+        np.testing.assert_allclose(ann.probabilities.sum(axis=1), 1.0)
+
+    def test_annotate_classes_consistent_with_probs(self, diff_ota_graph):
+        annotator = GcnAnnotator(model=self._model(), class_names=("ota", "bias"))
+        ann = annotator.annotate(diff_ota_graph)
+        np.testing.assert_array_equal(
+            ann.vertex_classes, ann.probabilities.argmax(axis=1)
+        )

@@ -1,0 +1,164 @@
+"""Command-line interface behaviour (library-level, no subprocess)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.ota import OtaSpec, generate_ota
+from repro.spice.writer import write_circuit
+
+
+@pytest.fixture()
+def deck_path(tmp_path):
+    lc = generate_ota(OtaSpec(topology="five_transistor"), name="cli_case")
+    path = tmp_path / "cli_case.sp"
+    path.write_text(write_circuit(lc.circuit))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_annotate_args(self):
+        args = build_parser().parse_args(
+            ["annotate", "x.sp", "--task", "rf", "--port", "rfin=antenna"]
+        )
+        assert args.task == "rf"
+        assert args.port == ["rfin=antenna"]
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["annotate", "x.sp", "--task", "dsp"])
+
+
+class TestPrimitivesCommand:
+    def test_lists_21(self, capsys):
+        assert main(["primitives"]) == 0
+        out = capsys.readouterr().out
+        assert "21 primitives" in out
+        assert "DP-N" in out
+
+    def test_extended_lists_23(self, capsys):
+        assert main(["primitives", "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "23 primitives" in out
+        assert "BUF" in out
+
+
+class TestDatasetsCommand:
+    def test_writes_decks_and_labels(self, tmp_path, capsys):
+        out_dir = tmp_path / "decks"
+        assert (
+            main(
+                ["datasets", "--task", "ota", "-n", "3", "--out-dir", str(out_dir)]
+            )
+            == 0
+        )
+        decks = list(out_dir.glob("*.sp"))
+        labels = list(out_dir.glob("*.labels.json"))
+        assert len(decks) == 3
+        assert len(labels) == 3
+        payload = json.loads(labels[0].read_text())
+        assert set(payload.values()) <= {"ota", "bias"}
+
+
+class TestTrainAndAnnotate:
+    def test_train_then_annotate(self, tmp_path, deck_path, capsys, monkeypatch):
+        # Shrink quick training so the CLI test stays fast.
+        import repro.datasets.synth as synth
+
+        original = synth.pretrain_annotator
+
+        def fast(task, quick=True, seed=0, **kwargs):
+            return original(task, quick=quick, seed=seed, train_size=16)
+
+        monkeypatch.setattr(synth, "pretrain_annotator", fast)
+        import repro.cli as cli_module
+
+        model_path = tmp_path / "model.npz"
+        assert main(["train", "--task", "ota", "--quick", "--out", str(model_path)]) == 0
+        assert model_path.exists()
+
+        assert (
+            main(
+                [
+                    "annotate",
+                    str(deck_path),
+                    "--task",
+                    "ota",
+                    "--model",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hierarchy" in out
+        assert "constraints" in out
+
+    def test_annotate_json_output(self, tmp_path, deck_path, capsys, monkeypatch):
+        import repro.datasets.synth as synth
+
+        original = synth.pretrain_annotator
+        monkeypatch.setattr(
+            synth,
+            "pretrain_annotator",
+            lambda task, quick=True, seed=0, **kw: original(
+                task, quick=quick, seed=seed, train_size=16
+            ),
+        )
+        model_path = tmp_path / "m.npz"
+        main(["train", "--task", "ota", "--quick", "--out", str(model_path)])
+        capsys.readouterr()  # drop the train command's output
+        assert (
+            main(
+                [
+                    "annotate",
+                    str(deck_path),
+                    "--task",
+                    "ota",
+                    "--model",
+                    str(model_path),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "devices" in payload and "hierarchy" in payload
+
+
+class TestExportDir:
+    def test_exports_written(self, tmp_path, deck_path, capsys, monkeypatch):
+        import repro.datasets.synth as synth
+
+        original = synth.pretrain_annotator
+        monkeypatch.setattr(
+            synth,
+            "pretrain_annotator",
+            lambda task, quick=True, seed=0, **kw: original(
+                task, quick=quick, seed=seed, train_size=16
+            ),
+        )
+        model_path = tmp_path / "m.npz"
+        main(["train", "--task", "ota", "--quick", "--out", str(model_path)])
+        out_dir = tmp_path / "exports"
+        assert (
+            main(
+                [
+                    "annotate", str(deck_path), "--task", "ota",
+                    "--model", str(model_path),
+                    "--export-dir", str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "constraints.json").exists()
+        assert (out_dir / "hierarchy.json").exists()
+        assert (out_dir / "hierarchy.dot").exists()
+        assert (out_dir / "graph.dot").exists()
+        payload = json.loads((out_dir / "constraints.json").read_text())
+        assert isinstance(payload, list)

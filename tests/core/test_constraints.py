@@ -1,0 +1,135 @@
+"""Constraint model, class rules, symmetry-axis propagation."""
+
+import pytest
+
+from repro.core.constraints import (
+    Constraint,
+    ConstraintKind,
+    ConstraintSet,
+    merge_symmetry_axes,
+    propagate,
+    subblock_constraints,
+)
+from repro.exceptions import ConstraintError
+
+
+def _sym(*members, source=""):
+    return Constraint(ConstraintKind.SYMMETRY, tuple(members), source=source)
+
+
+class TestConstraint:
+    def test_requires_members(self):
+        with pytest.raises(ConstraintError):
+            Constraint(ConstraintKind.MATCHING, ())
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(ConstraintError):
+            Constraint(ConstraintKind.MATCHING, ("a", "a"))
+
+    def test_renamed(self):
+        c = Constraint(ConstraintKind.MATCHING, ("m1", "m2"))
+        renamed = c.renamed({"m1": "x/m1"})
+        assert renamed.members == ("x/m1", "m2")
+
+    def test_with_source(self):
+        c = _sym("a", "b").with_source("DP-N")
+        assert c.source == "DP-N"
+
+    def test_attribute_map(self):
+        c = Constraint(
+            ConstraintKind.PROXIMITY, ("lna0",),
+            attributes=(("reference", "antenna"),),
+        )
+        assert c.attribute_map == {"reference": "antenna"}
+
+    def test_equality_and_dedup(self):
+        s = ConstraintSet()
+        s.add(_sym("a", "b"))
+        s.add(_sym("a", "b"))
+        assert len(s) == 1
+
+
+class TestSubblockRules:
+    def test_ota_gets_symmetry(self):
+        constraints = subblock_constraints("ota", "ota0")
+        kinds = {c.kind for c in constraints}
+        assert ConstraintKind.SYMMETRY in kinds
+
+    def test_lna_gets_proximity_and_guard_ring(self):
+        constraints = subblock_constraints("lna", "lna0")
+        kinds = {c.kind for c in constraints}
+        assert ConstraintKind.PROXIMITY in kinds
+        assert ConstraintKind.GUARD_RING in kinds
+        assert ConstraintKind.MIN_WIRELENGTH in kinds
+
+    def test_proximity_references_antenna(self):
+        constraints = subblock_constraints("lna", "lna0")
+        prox = next(
+            c for c in constraints if c.kind is ConstraintKind.PROXIMITY
+        )
+        assert prox.attribute_map["reference"] == "antenna"
+
+    def test_unknown_class_gets_nothing(self):
+        assert subblock_constraints("whatever", "x") == []
+
+    def test_members_bind_block_name(self):
+        constraints = subblock_constraints("osc", "osc3")
+        assert all(c.members == ("osc3",) for c in constraints)
+
+
+class TestConstraintSet:
+    def test_of_kind(self):
+        s = ConstraintSet()
+        s.add(_sym("a", "b"))
+        s.add(Constraint(ConstraintKind.MATCHING, ("a", "b")))
+        assert len(s.of_kind(ConstraintKind.SYMMETRY)) == 1
+
+    def test_involving(self):
+        s = ConstraintSet()
+        s.add(_sym("a", "b"))
+        s.add(_sym("c", "d"))
+        assert len(s.involving("a")) == 1
+        assert len(s.involving("z")) == 0
+
+    def test_iteration(self):
+        s = ConstraintSet()
+        s.extend([_sym("a", "b"), _sym("c", "d")])
+        assert len(list(s)) == 2
+
+
+class TestSymmetryMerging:
+    def test_disjoint_groups_stay_separate(self):
+        s = ConstraintSet()
+        s.extend([_sym("a", "b"), _sym("c", "d")])
+        merged = merge_symmetry_axes(s)
+        assert len(merged) == 2
+
+    def test_overlapping_members_merge(self):
+        """Fig. 1's CM + DP sharing devices combine to one axis."""
+        s = ConstraintSet()
+        s.extend([_sym("m1", "m2"), _sym("m2", "m3")])
+        merged = merge_symmetry_axes(s)
+        assert len(merged) == 1
+        assert set(merged[0].members) == {"m1", "m2", "m3"}
+
+    def test_same_source_merges(self):
+        s = ConstraintSet()
+        s.extend([_sym("a", "b", source="ota0"), _sym("c", "d", source="ota0")])
+        merged = merge_symmetry_axes(s)
+        assert len(merged) == 1
+
+    def test_transitive_closure(self):
+        s = ConstraintSet()
+        s.extend([_sym("a", "b"), _sym("c", "d"), _sym("b", "c")])
+        merged = merge_symmetry_axes(s)
+        assert len(merged) == 1
+        assert set(merged[0].members) == {"a", "b", "c", "d"}
+
+    def test_propagate_keeps_other_kinds(self):
+        s = ConstraintSet()
+        s.add(Constraint(ConstraintKind.MATCHING, ("a", "b")))
+        s.add(_sym("a", "b"))
+        result = propagate(s)
+        kinds = [c.kind for c in result]
+        assert ConstraintKind.MATCHING in kinds
+        assert ConstraintKind.SYMMETRY in kinds

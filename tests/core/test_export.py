@@ -1,0 +1,124 @@
+"""Export formats: ALIGN-style constraints, hierarchy JSON, DOT."""
+
+import json
+
+import pytest
+
+from repro.core.annotator import Annotation
+from repro.core.constraints import Constraint, ConstraintKind, ConstraintSet
+from repro.core.export import (
+    constraint_record,
+    constraints_json,
+    graph_dot,
+    hierarchy_dot,
+    hierarchy_json,
+)
+from repro.core.hierarchy import HierarchyNode, NodeKind
+
+
+def _tree():
+    root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+    block = root.add(
+        HierarchyNode(name="ota0", kind=NodeKind.SUBBLOCK, block_class="ota")
+    )
+    block.add(
+        HierarchyNode(
+            name="dp", kind=NodeKind.PRIMITIVE, block_class="DP-N",
+            devices=("m1", "m2"),
+        )
+    )
+    return root
+
+
+class TestConstraintRecords:
+    def test_symmetry_pairs(self):
+        record = constraint_record(
+            Constraint(
+                ConstraintKind.SYMMETRY, ("m1", "m2", "m3", "m4"), source="x"
+            )
+        )
+        assert record["constraint"] == "SymmetricBlocks"
+        assert record["pairs"] == [["m1", "m2"], ["m3", "m4"]]
+        assert "self_symmetric" not in record
+
+    def test_odd_symmetry_member_on_axis(self):
+        record = constraint_record(
+            Constraint(ConstraintKind.SYMMETRY, ("a", "b", "c"))
+        )
+        assert record["pairs"] == [["a", "b"]]
+        assert record["self_symmetric"] == ["c"]
+
+    def test_matching_instances(self):
+        record = constraint_record(
+            Constraint(ConstraintKind.MATCHING, ("m1", "m2"))
+        )
+        assert record["constraint"] == "GroupBlocks"
+        assert record["instances"] == ["m1", "m2"]
+
+    def test_attributes_included(self):
+        record = constraint_record(
+            Constraint(
+                ConstraintKind.PROXIMITY, ("lna0",),
+                attributes=(("reference", "antenna"),),
+            )
+        )
+        assert record["reference"] == "antenna"
+
+    def test_every_kind_mapped(self):
+        for kind in ConstraintKind:
+            record = constraint_record(Constraint(kind, ("a", "b")))
+            assert record["constraint"]
+
+    def test_json_round_trip(self):
+        constraints = ConstraintSet()
+        constraints.add(Constraint(ConstraintKind.SYMMETRY, ("a", "b")))
+        constraints.add(Constraint(ConstraintKind.GUARD_RING, ("lna0",)))
+        payload = json.loads(constraints_json(constraints))
+        assert len(payload) == 2
+        assert {r["constraint"] for r in payload} == {
+            "SymmetricBlocks", "GuardRing",
+        }
+
+
+class TestHierarchyExport:
+    def test_json(self):
+        payload = json.loads(hierarchy_json(_tree()))
+        assert payload["kind"] == "system"
+        assert payload["children"][0]["name"] == "ota0"
+
+    def test_dot_nodes_and_edges(self):
+        dot = hierarchy_dot(_tree())
+        assert dot.startswith("digraph")
+        assert '"sys"' in dot
+        assert "ota0" in dot
+        assert "->" in dot
+
+    def test_dot_escapes_quotes(self):
+        root = HierarchyNode(name='we"ird', kind=NodeKind.SYSTEM)
+        root.add(HierarchyNode(name="c", kind=NodeKind.ELEMENT))
+        assert '\\"' in hierarchy_dot(root)
+
+
+class TestGraphDot:
+    def test_renders_annotated(self, diff_ota_graph):
+        import numpy as np
+
+        annotation = Annotation(
+            graph=diff_ota_graph,
+            class_names=("ota", "bias"),
+            vertex_classes=np.zeros(diff_ota_graph.n_vertices, dtype=np.int64),
+        )
+        dot = graph_dot(diff_ota_graph, annotation)
+        assert dot.startswith("graph circuit")
+        assert "m0" in dot
+        assert "lightgreen" in dot  # class-0 color
+        assert "--" in dot
+
+    def test_edge_labels_in_binary(self, current_mirror_graph):
+        dot = graph_dot(current_mirror_graph)
+        assert 'label="101"' in dot  # the diode edge
+        assert 'label="010"' in dot  # a source edge
+
+    def test_unannotated_is_white(self, diff_ota_graph):
+        dot = graph_dot(diff_ota_graph)
+        assert 'fillcolor="white"' in dot

@@ -1,0 +1,74 @@
+"""Hierarchy tree structure and rendering."""
+
+from repro.core.constraints import Constraint, ConstraintKind
+from repro.core.hierarchy import HierarchyNode, NodeKind
+
+
+def _tree() -> HierarchyNode:
+    root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+    ota = root.add(
+        HierarchyNode(name="ota0", kind=NodeKind.SUBBLOCK, block_class="ota")
+    )
+    dp = ota.add(
+        HierarchyNode(
+            name="dp",
+            kind=NodeKind.PRIMITIVE,
+            block_class="DP-N",
+            devices=("m1", "m2"),
+            constraints=[
+                Constraint(ConstraintKind.SYMMETRY, ("m1", "m2"), source="DP-N")
+            ],
+        )
+    )
+    ota.add(HierarchyNode(name="m3", kind=NodeKind.ELEMENT, devices=("m3",)))
+    return root
+
+
+class TestStructure:
+    def test_walk_preorder(self):
+        names = [n.name for n in _tree().walk()]
+        assert names == ["sys", "ota0", "dp", "m3"]
+
+    def test_find(self):
+        tree = _tree()
+        assert tree.find("dp").block_class == "DP-N"
+        assert tree.find("missing") is None
+
+    def test_subblocks_and_primitives(self):
+        tree = _tree()
+        assert [n.name for n in tree.subblocks()] == ["ota0"]
+        assert [n.name for n in tree.primitives()] == ["dp"]
+
+    def test_all_devices_transitive(self):
+        assert _tree().all_devices() == {"m1", "m2", "m3"}
+
+    def test_all_constraints(self):
+        assert len(_tree().all_constraints()) == 1
+
+    def test_depth(self):
+        assert _tree().depth == 3
+        assert HierarchyNode(name="x", kind=NodeKind.ELEMENT).depth == 1
+
+
+class TestRendering:
+    def test_render_contains_levels(self):
+        text = _tree().render()
+        assert "system: sys" in text
+        assert "sub-block: ota0 [ota]" in text
+        assert "primitive: dp [DP-N]" in text
+        assert "element: m3" in text
+
+    def test_render_indents_children(self):
+        lines = _tree().render().splitlines()
+        assert lines[1].startswith("  ")
+        assert lines[2].startswith("    ")
+
+    def test_render_device_counts(self):
+        assert "2 dev" in _tree().render()
+
+    def test_to_dict_roundtrip_shape(self):
+        d = _tree().to_dict()
+        assert d["kind"] == "system"
+        assert d["children"][0]["class"] == "ota"
+        assert d["children"][0]["children"][0]["devices"] == ["m1", "m2"]
+        assert d["children"][0]["children"][0]["constraints"][0]["kind"] == "symmetry"

@@ -1,0 +1,351 @@
+"""Postprocessing I and II with hand-built annotations.
+
+These tests construct annotations directly (no trained model needed) so
+every heuristic is exercised deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.annotator import Annotation
+from repro.core.postprocess import apply_port_rules, postprocess_ccc
+from repro.graph.bipartite import CircuitGraph
+from repro.primitives.library import extended_library
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+
+LIB = extended_library()
+
+
+def _graph(deck: str) -> CircuitGraph:
+    return CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+
+
+def _annotation(graph, class_names, assignments, noise=None):
+    """Build an annotation with near-one-hot probabilities.
+
+    ``assignments`` maps device/net name → class id; unnamed vertices
+    get class 0 with low confidence.  ``noise`` optionally overrides
+    specific names with a different predicted class (high confidence).
+    """
+    n = graph.n_vertices
+    n_classes = len(class_names)
+    probabilities = np.full((n, n_classes), 0.1)
+    for v in range(n):
+        name = graph.vertex_name(v)
+        cls = assignments.get(name, 0)
+        if noise and name in noise:
+            cls = noise[name]
+        probabilities[v, cls] = 0.9
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+    return Annotation(
+        graph=graph,
+        class_names=class_names,
+        vertex_classes=probabilities.argmax(axis=1).astype(np.int64),
+        probabilities=probabilities,
+    )
+
+
+OTA_DECK = """
+* 5t ota + bias reference
+r1 vdd! vbn 50k
+mcr vbn vbn gnd! gnd! nmos
+mtail tail vbn gnd! gnd! nmos
+md1 n1 vinp tail gnd! nmos
+md2 vout vinn tail gnd! nmos
+ml1 n1 n1 vdd! vdd! pmos
+ml2 vout n1 vdd! vdd! pmos
+.end
+"""
+
+OTA_TRUTH = {
+    "r1": "bias", "mcr": "bias",
+    "mtail": "ota", "md1": "ota", "md2": "ota", "ml1": "ota", "ml2": "ota",
+}
+
+
+class TestCccVote:
+    def test_majority_fixes_single_error(self):
+        graph = _graph(OTA_DECK)
+        annotation = _annotation(
+            graph,
+            ("ota", "bias"),
+            {name: (0 if cls == "ota" else 1) for name, cls in OTA_TRUTH.items()},
+            noise={"md1": 1},  # one wrong device inside the big CCC
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["md1"] == "ota"
+
+    def test_all_devices_take_ccc_class(self):
+        graph = _graph(OTA_DECK)
+        annotation = _annotation(
+            graph,
+            ("ota", "bias"),
+            {name: (0 if cls == "ota" else 1) for name, cls in OTA_TRUTH.items()},
+        )
+        result = postprocess_ccc(annotation, LIB)
+        for name, cls in OTA_TRUTH.items():
+            assert result.annotation.element_classes[name] == cls
+
+    def test_nets_inherit_adjacent_class(self):
+        graph = _graph(OTA_DECK)
+        annotation = _annotation(
+            graph,
+            ("ota", "bias"),
+            {name: (0 if cls == "ota" else 1) for name, cls in OTA_TRUTH.items()},
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.net_classes["vout"] == "ota"
+        assert result.annotation.net_classes["tail"] == "ota"
+
+    def test_primitives_annotated_per_ccc(self):
+        graph = _graph(OTA_DECK)
+        annotation = _annotation(graph, ("ota", "bias"), {})
+        result = postprocess_ccc(annotation, LIB)
+        all_matches = [
+            m.primitive for ms in result.ccc_matches.values() for m in ms
+        ]
+        assert "DP-N" in all_matches
+        assert "CM-P(2)" in all_matches
+
+
+class TestMirrorJointVote:
+    MIRROR_TREE_DECK = """
+* reference + two mirror branches split across CCCs
+r1 vdd! vbn 50k
+mcr vbn vbn gnd! gnd! nmos
+mb1 vbp vbn gnd! gnd! nmos
+mp1 vbp vbp vdd! vdd! pmos
+mb2 tap vbn gnd! gnd! nmos
+mp2 tap tap vdd! vdd! pmos
+.end
+"""
+
+    def test_branches_outvote_bad_reference(self):
+        graph = _graph(self.MIRROR_TREE_DECK)
+        annotation = _annotation(
+            graph, ("ota", "bias"),
+            {n: 1 for n in ("r1", "mcr", "mb1", "mp1", "mb2", "mp2")},
+            noise={"r1": 0, "mcr": 0},  # the reference CCC misclassified
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["r1"] == "bias"
+        assert result.annotation.element_classes["mcr"] == "bias"
+
+    def test_reference_outvotes_bad_branch(self):
+        graph = _graph(self.MIRROR_TREE_DECK)
+        annotation = _annotation(
+            graph, ("ota", "bias"),
+            {n: 1 for n in ("r1", "mcr", "mb1", "mp1", "mb2", "mp2")},
+            noise={"mb2": 0, "mp2": 0},  # one branch misclassified
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["mb2"] == "bias"
+        assert result.annotation.element_classes["mp2"] == "bias"
+
+
+class TestOrphanAbsorption:
+    BUFFERED_DECK = """
+* source-follower input buffer feeding a diff pair
+mbuf vdd! vin inbuf gnd! nmos
+mtail tail vbn gnd! gnd! nmos
+md1 n1 inbuf tail gnd! nmos
+md2 vout vinn tail gnd! nmos
+ml1 n1 n1 vdd! vdd! pmos
+ml2 vout n1 vdd! vdd! pmos
+.end
+"""
+
+    def test_lone_buffer_absorbed_into_host(self):
+        graph = _graph(self.BUFFERED_DECK)
+        annotation = _annotation(
+            graph, ("ota", "bias"),
+            {n: 0 for n in ("mtail", "md1", "md2", "ml1", "ml2")},
+            noise={"mbuf": 1},  # buffer misclassified as bias
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["mbuf"] == "ota"
+
+
+class TestStandaloneSeparation:
+    RF_CHAIN_DECK = """
+* mixer-ish block followed by an inverter amp
+mrf t1 rfin gnd! gnd! nmos
+msw1 ifp lo t1 gnd! nmos
+msw2 ifn lob t1 gnd! nmos
+rl1 vdd! ifp 1k
+rl2 vdd! ifn 1k
+minv1 if2 ifp gnd! gnd! nmos
+minv2 if2 ifp vdd! vdd! pmos
+.end
+"""
+
+    def test_inverter_separated_in_rf_vocab(self):
+        graph = _graph(self.RF_CHAIN_DECK)
+        names = ("mrf", "msw1", "msw2", "rl1", "rl2")
+        annotation = _annotation(
+            graph, ("lna", "mixer", "osc"),
+            {n: 1 for n in names} | {"minv1": 1, "minv2": 1},
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["minv1"] == "inv"
+        assert result.annotation.element_classes["minv2"] == "inv"
+        assert result.standalone
+
+    def test_not_separated_in_ota_vocab(self):
+        graph = _graph(self.RF_CHAIN_DECK)
+        annotation = _annotation(graph, ("ota", "bias"), {})
+        result = postprocess_ccc(annotation, LIB)
+        classes = set(result.annotation.element_classes.values())
+        assert "inv" not in classes
+
+
+class TestBpfDetection:
+    BPF_DECK = """
+* cross-coupled pair + tank + rail-injecting input transistors
+mcc1 outp outn t gnd! nmos
+mcc2 outn outp t gnd! nmos
+mt t vb gnd! gnd! nmos
+l1 outp outn 1n
+c1 outp outn 1p
+min1 outp rfin gnd! gnd! nmos
+min2 outn rfin gnd! gnd! nmos
+mdrv rfin drive gnd! gnd! nmos
+.end
+"""
+
+    def test_osc_with_inputs_becomes_bpf(self):
+        graph = _graph(self.BPF_DECK)
+        annotation = _annotation(
+            graph, ("lna", "mixer", "osc"),
+            {n: 2 for n in ("mcc1", "mcc2", "mt", "l1", "c1", "min1", "min2")}
+            | {"mdrv": 0},
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["mcc1"] == "bpf"
+        assert "bpf" in result.annotation.extra_classes
+
+    ILO_DECK = """
+* injection-locked oscillator: injection device across the tank
+mcc1 outp outn t gnd! nmos
+mcc2 outn outp t gnd! nmos
+mt t vb gnd! gnd! nmos
+l1 outp outn 1n
+c1 outp outn 1p
+minj outp ref outn gnd! nmos
+mdrv ref drive gnd! gnd! nmos
+.end
+"""
+
+    def test_injection_locked_osc_stays_osc(self):
+        graph = _graph(self.ILO_DECK)
+        annotation = _annotation(
+            graph, ("lna", "mixer", "osc"),
+            {n: 2 for n in ("mcc1", "mcc2", "mt", "l1", "c1", "minj")}
+            | {"mdrv": 2},
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["mcc1"] == "osc"
+
+    def test_bpf_detection_can_be_disabled(self):
+        graph = _graph(self.BPF_DECK)
+        annotation = _annotation(
+            graph, ("lna", "mixer", "osc"),
+            {n: 2 for n in ("mcc1", "mcc2", "mt", "l1", "c1", "min1", "min2", "mdrv")},
+        )
+        result = postprocess_ccc(annotation, LIB, detect_bpf=False)
+        assert result.annotation.element_classes["mcc1"] == "osc"
+
+
+RECEIVER_DECK = """
+* lna (cg) -> mixer <- external lo
+mlna lnaout vb_lna rfin gnd! nmos
+llna rfin gnd! 1n
+rlna vdd! lnaout 600
+mrf t1 lnaout gnd! gnd! nmos
+msw1 ifout lo t1 gnd! nmos
+msw2 ifn lob t1 gnd! nmos
+rl1 vdd! ifout 1k
+rl2 vdd! ifn 1k
+.end
+"""
+
+
+class TestPortRules:
+    def _post1(self, noise=None):
+        graph = _graph(RECEIVER_DECK)
+        lna = {"mlna": 0, "llna": 0, "rlna": 0}
+        mixer = {n: 1 for n in ("mrf", "msw1", "msw2", "rl1", "rl2")}
+        annotation = _annotation(
+            graph, ("lna", "mixer", "osc"), lna | mixer, noise=noise
+        )
+        return postprocess_ccc(annotation, LIB)
+
+    def test_antenna_rule_fixes_lna(self):
+        result = self._post1(noise={"mlna": 2, "llna": 2, "rlna": 2})
+        fixed = apply_port_rules(result, {"rfin": "antenna"})
+        assert fixed.annotation.element_classes["mlna"] == "lna"
+
+    def test_oscillating_rule_fixes_mixer(self):
+        result = self._post1(
+            noise={n: 2 for n in ("mrf", "msw1", "msw2", "rl1", "rl2")}
+        )
+        fixed = apply_port_rules(result, {"lo": "oscillating"})
+        assert fixed.annotation.element_classes["msw1"] == "mixer"
+
+    def test_oscillating_rule_drive_side_becomes_osc(self):
+        deck = """
+mcc1 lo lob t gnd! nmos
+mcc2 lob lo t gnd! nmos
+mt t vb gnd! gnd! nmos
+msw out lo src gnd! nmos
+msrc src vin gnd! gnd! nmos
+.end
+"""
+        graph = _graph(deck)
+        annotation = _annotation(
+            graph, ("lna", "mixer", "osc"),
+            {"mcc1": 1, "mcc2": 1, "mt": 1, "msw": 1, "msrc": 1},
+        )
+        result = postprocess_ccc(annotation, LIB, detect_bpf=False)
+        fixed = apply_port_rules(result, {"lo": "oscillating"})
+        assert fixed.annotation.element_classes["mcc1"] == "osc"
+        assert fixed.annotation.element_classes["msw"] == "mixer"
+
+    def test_unknown_net_ignored(self):
+        result = self._post1()
+        fixed = apply_port_rules(result, {"nosuchnet": "antenna"})
+        assert fixed.annotation.element_classes == result.annotation.element_classes
+
+    def test_noop_outside_rf_vocab(self):
+        graph = _graph(OTA_DECK)
+        annotation = _annotation(graph, ("ota", "bias"), {})
+        result = postprocess_ccc(annotation, LIB)
+        fixed = apply_port_rules(result, {"vinp": "antenna"})
+        assert fixed.annotation.element_classes == result.annotation.element_classes
+
+    def test_standalone_protected_from_port_rules(self):
+        deck = """
+mcc1 lo lob t gnd! nmos
+mcc2 lob lo t gnd! nmos
+mt t vb gnd! gnd! nmos
+mbuf1 vdd! lo lobuf gnd! nmos
+mbuf2 gnd! lo lobuf vdd! pmos
+msw out lobuf src gnd! nmos
+msrc src vin gnd! gnd! nmos
+.end
+"""
+        graph = _graph(deck)
+        annotation = _annotation(
+            graph, ("lna", "mixer", "osc"),
+            {"mcc1": 2, "mcc2": 2, "mt": 2, "mbuf1": 2, "mbuf2": 2,
+             "msw": 1, "msrc": 1},
+        )
+        result = postprocess_ccc(annotation, LIB, detect_bpf=False)
+        assert result.annotation.element_classes["mbuf1"] == "buf"
+        fixed = apply_port_rules(
+            result, {"lo": "oscillating", "lobuf": "oscillating"}
+        )
+        # The buffer drives lobuf but keeps its standalone class.
+        assert fixed.annotation.element_classes["mbuf1"] == "buf"
+        assert fixed.annotation.element_classes["msw"] == "mixer"

@@ -1,0 +1,236 @@
+"""System-level recognition (receiver chains) over the block graph."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.core.systems import (
+    BlockGraph,
+    annotate_systems,
+    build_block_graph,
+    detect_receivers,
+)
+from repro.graph.bipartite import CircuitGraph
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+
+RECEIVER_DECK = """
+* lna -> mixer <- osc, plus an IF inverter
+mlna lnaout vb_lna rfin gnd! nmos
+rlna vdd! lnaout 600
+mcc1 lo lob t gnd! nmos
+mcc2 lob lo t gnd! nmos
+mt t vb gnd! gnd! nmos
+mrf mxt lnaout gnd! gnd! nmos
+msw1 ifout lo mxt gnd! nmos
+msw2 ifn lob mxt gnd! nmos
+rl1 vdd! ifout 1k
+rl2 vdd! ifn 1k
+minv1 if2 ifout gnd! gnd! nmos
+minv2 if2 ifout vdd! vdd! pmos
+.end
+"""
+
+
+def _hierarchy_and_graph():
+    graph = CircuitGraph.from_circuit(flatten(parse_netlist(RECEIVER_DECK)))
+    root = HierarchyNode(name="rx", kind=NodeKind.SYSTEM)
+    groups = {
+        "lna0": ("lna", ("mlna", "rlna")),
+        "osc0": ("osc", ("mcc1", "mcc2", "mt")),
+        "mixer0": ("mixer", ("mrf", "msw1", "msw2", "rl1", "rl2")),
+        "inv0": ("inv", ("minv1", "minv2")),
+    }
+    for name, (cls, devs) in groups.items():
+        root.add(
+            HierarchyNode(
+                name=name, kind=NodeKind.SUBBLOCK, block_class=cls,
+                devices=devs,
+            )
+        )
+    return root, graph
+
+
+class TestBlockGraph:
+    def test_edges_follow_signal_flow(self):
+        root, graph = _hierarchy_and_graph()
+        bg = build_block_graph(root, graph)
+        assert ("lna0", "mixer0") in bg.edges
+        assert ("osc0", "mixer0") in bg.edges
+        assert ("mixer0", "inv0") in bg.edges
+
+    def test_no_backward_gate_edges(self):
+        root, graph = _hierarchy_and_graph()
+        bg = build_block_graph(root, graph)
+        assert ("mixer0", "lna0") not in bg.edges
+
+    def test_predecessors_successors(self):
+        root, graph = _hierarchy_and_graph()
+        bg = build_block_graph(root, graph)
+        assert bg.predecessors("mixer0") == {"lna0", "osc0"}
+        assert "inv0" in bg.successors("mixer0")
+
+    def test_of_class(self):
+        root, graph = _hierarchy_and_graph()
+        bg = build_block_graph(root, graph)
+        assert bg.of_class("mixer") == ["mixer0"]
+
+
+class TestDetectReceivers:
+    def test_full_chain_found(self):
+        root, graph = _hierarchy_and_graph()
+        bg = build_block_graph(root, graph)
+        (system,) = detect_receivers(bg)
+        assert system.system_class == "receiver"
+        assert set(system.blocks) == {"lna0", "osc0", "mixer0", "inv0"}
+
+    def test_mixer_without_lo_not_a_receiver(self):
+        bg = BlockGraph(
+            classes={"lna0": "lna", "mixer0": "mixer"},
+            devices={"lna0": set(), "mixer0": set()},
+            edges={("lna0", "mixer0")},
+        )
+        assert detect_receivers(bg) == []
+
+    def test_mixer_without_rf_not_a_receiver(self):
+        bg = BlockGraph(
+            classes={"osc0": "osc", "mixer0": "mixer"},
+            devices={"osc0": set(), "mixer0": set()},
+            edges={("osc0", "mixer0")},
+        )
+        assert detect_receivers(bg) == []
+
+    def test_buffered_lo_path_traversed(self):
+        bg = BlockGraph(
+            classes={
+                "lna0": "lna", "mixer0": "mixer",
+                "buf0": "buf", "osc0": "osc",
+            },
+            devices={k: set() for k in ("lna0", "mixer0", "buf0", "osc0")},
+            edges={
+                ("lna0", "mixer0"),
+                ("buf0", "mixer0"),
+                ("osc0", "buf0"),
+            },
+        )
+        (system,) = detect_receivers(bg)
+        assert "osc0" in system.blocks
+        assert "buf0" in system.blocks
+
+    def test_multi_stage_lna_chain(self):
+        bg = BlockGraph(
+            classes={
+                "lna0": "lna", "lna1": "lna", "bpf0": "bpf",
+                "mixer0": "mixer", "osc0": "osc",
+            },
+            devices={k: set() for k in ("lna0", "lna1", "bpf0", "mixer0", "osc0")},
+            edges={
+                ("lna0", "lna1"),
+                ("lna1", "bpf0"),
+                ("bpf0", "mixer0"),
+                ("osc0", "mixer0"),
+            },
+        )
+        (system,) = detect_receivers(bg)
+        assert {"lna0", "lna1", "bpf0"} <= set(system.blocks)
+
+
+class TestAnnotateSystems:
+    def test_tree_gains_system_node(self):
+        root, graph = _hierarchy_and_graph()
+        systems = annotate_systems(root, graph)
+        assert len(systems) == 1
+        receiver = root.find("receiver0")
+        assert receiver is not None
+        assert receiver.kind is NodeKind.SYSTEM
+        assert {c.name for c in receiver.children} == {
+            "lna0", "osc0", "mixer0", "inv0",
+        }
+
+    def test_no_system_leaves_tree_untouched(self):
+        root = HierarchyNode(name="amp", kind=NodeKind.SYSTEM)
+        root.add(
+            HierarchyNode(
+                name="ota0", kind=NodeKind.SUBBLOCK, block_class="ota",
+                devices=("m1",),
+            )
+        )
+        deck = "m1 out in gnd! gnd! nmos\n.end\n"
+        graph = CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+        assert annotate_systems(root, graph) == []
+        assert [c.name for c in root.children] == ["ota0"]
+
+
+class TestEndToEndPhasedArray:
+    def test_one_receiver_per_channel(self, quick_rf_annotator):
+        from repro.core.pipeline import GanaPipeline
+        from repro.datasets.systems import phased_array
+
+        pipeline = GanaPipeline(annotator=quick_rf_annotator)
+        lc = phased_array(n_channels=3)
+        result = pipeline.run(
+            lc.circuit, port_labels=lc.port_labels, name=lc.name
+        )
+        systems = annotate_systems(result.hierarchy, result.graph)
+        assert len(systems) == 3
+        for system in systems:
+            classes = {
+                result.hierarchy.find(b).block_class.lower()
+                if result.hierarchy.find(b)
+                else "?"
+                for b in system.blocks
+            }
+            assert "mixer" in classes
+
+
+class TestNestSupportBlocks:
+    def test_bias_nested_under_its_ota(self, quick_ota_annotator):
+        """Fig. 1's containment: a bias network serving one OTA nests
+        inside it, giving multi-level sub-block hierarchy."""
+        from repro.core.pipeline import GanaPipeline
+        from repro.core.systems import nest_support_blocks
+        from repro.datasets.ota import OtaSpec, generate_ota
+
+        pipeline = GanaPipeline(annotator=quick_ota_annotator)
+        lc = generate_ota(OtaSpec(topology="five_transistor"), name="nest")
+        result = pipeline.run(lc.circuit, name="nest")
+        top_before = {c.name for c in result.hierarchy.children}
+        moves = nest_support_blocks(result.hierarchy, result.graph)
+        if not moves:
+            import pytest
+
+            pytest.skip("quick model merged bias into the ota block")
+        child, parent = moves[0]
+        assert child not in {c.name for c in result.hierarchy.children}
+        parent_node = result.hierarchy.find(parent)
+        assert parent_node.find(child) is not None
+        # Depth increased: sub-block inside sub-block.
+        assert result.hierarchy.depth >= 4
+
+    def test_shared_bias_stays_top_level(self):
+        from repro.core.systems import BlockGraph, nest_support_blocks
+        from repro.core.hierarchy import HierarchyNode, NodeKind
+        from repro.graph.bipartite import CircuitGraph
+        from repro.spice.flatten import flatten
+        from repro.spice.parser import parse_netlist
+
+        # One bias reference feeding two separate amplifier blocks.
+        deck = """
+rref vdd! nb 50k
+mcr nb nb gnd! gnd! nmos
+mt1 t1 nb gnd! gnd! nmos
+ma1 o1 in1 t1 gnd! nmos
+mt2 t2 nb gnd! gnd! nmos
+ma2 o2 in2 t2 gnd! nmos
+.end
+"""
+        graph = CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+        root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+        root.add(HierarchyNode(name="bias0", kind=NodeKind.SUBBLOCK,
+                               block_class="bias", devices=("rref", "mcr")))
+        root.add(HierarchyNode(name="ota0", kind=NodeKind.SUBBLOCK,
+                               block_class="ota", devices=("mt1", "ma1")))
+        root.add(HierarchyNode(name="ota1", kind=NodeKind.SUBBLOCK,
+                               block_class="ota", devices=("mt2", "ma2")))
+        moves = nest_support_blocks(root, graph)
+        assert moves == []
+        assert {c.name for c in root.children} == {"bias0", "ota0", "ota1"}

@@ -1,0 +1,151 @@
+"""Testbench inference: antenna / oscillating / bias from sources."""
+
+import pytest
+
+from repro.core.testbench import (
+    infer_net_roles,
+    infer_port_labels,
+    strip_sources,
+)
+from repro.graph.features import NetRole
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+
+
+def _flat(deck: str):
+    return flatten(parse_netlist(deck))
+
+
+class TestWaveformParsing:
+    def test_sin_source_shape_captured(self):
+        netlist = parse_netlist("vlo lo 0 sin(0 1 1g)\n.end\n")
+        assert netlist.top.devices[0].model == "sin"
+
+    def test_pulse_source(self):
+        netlist = parse_netlist("vclk clk 0 pulse(0 1.8 0 10p 10p 1n 2n)\n.end\n")
+        assert netlist.top.devices[0].model == "pulse"
+
+    def test_dc_source_has_no_shape(self):
+        netlist = parse_netlist("vb nb 0 dc 0.7\n.end\n")
+        assert netlist.top.devices[0].model is None
+        assert netlist.top.devices[0].value == pytest.approx(0.7)
+
+
+class TestOscillatingInference:
+    def test_sin_drive_is_oscillating(self):
+        labels = infer_port_labels(_flat("vlo lo 0 sin(0 1 1g)\n.end\n"))
+        assert labels == {"lo": "oscillating"}
+
+    def test_dc_source_not_oscillating(self):
+        labels = infer_port_labels(_flat("vb nb 0 dc 0.7\n.end\n"))
+        assert labels == {}
+
+    def test_pulse_counts_as_oscillating(self):
+        labels = infer_port_labels(_flat("vclk clk 0 pulse(0 1 0 1p 1p 1n 2n)\n.end\n"))
+        assert labels["clk"] == "oscillating"
+
+    def test_reversed_terminals(self):
+        labels = infer_port_labels(_flat("vlo 0 lo sin(0 1 1g)\n.end\n"))
+        assert labels == {"lo": "oscillating"}
+
+
+class TestAntennaInference:
+    RF_PORT_DECK = """
+vrf src 0 sin(0 0.01 2.4g)
+rport src rfin 50
+mlna out rfin gnd! gnd! nmos
+.end
+"""
+
+    def test_port_resistor_makes_antenna(self):
+        labels = infer_port_labels(_flat(self.RF_PORT_DECK))
+        assert labels["rfin"] == "antenna"
+        assert "src" not in labels  # consumed by the port
+
+    def test_non_port_resistance_stays_oscillating(self):
+        deck = """
+vlo src 0 sin(0 1 1g)
+rbig src inx 10k
+.end
+"""
+        labels = infer_port_labels(_flat(deck))
+        assert labels == {"src": "oscillating"}
+
+    def test_mixed_testbench(self):
+        deck = """
+vrf asrc 0 sin(0 0.01 2.4g)
+rport asrc rfin 50
+vlo lo 0 sin(0 0.5 1g)
+.end
+"""
+        labels = infer_port_labels(_flat(deck))
+        assert labels == {"rfin": "antenna", "lo": "oscillating"}
+
+
+class TestBiasRoles:
+    def test_dc_source_is_bias(self):
+        roles = infer_net_roles(_flat("vb nb 0 dc 0.7\n.end\n"))
+        assert roles == {"nb": NetRole.BIAS}
+
+    def test_sin_source_is_not_bias(self):
+        roles = infer_net_roles(_flat("vlo lo 0 sin(0 1 1g)\n.end\n"))
+        assert roles == {}
+
+    def test_supply_source_excluded(self):
+        roles = infer_net_roles(_flat("vdd vdd! 0 dc 1.8\n.end\n"))
+        assert roles == {}
+
+
+class TestStripSources:
+    def test_sources_removed_devices_kept(self):
+        flat = _flat("vb nb 0 dc 0.7\nm1 out nb gnd! gnd! nmos\n.end\n")
+        stripped = strip_sources(flat)
+        assert [d.name for d in stripped.devices] == ["m1"]
+
+
+class TestPipelineIntegration:
+    def test_inferred_labels_match_explicit(self, quick_rf_annotator):
+        """A receiver deck with its testbench sources must recognize as
+        well as the same deck with designer-provided labels."""
+        from repro.core.pipeline import GanaPipeline
+        from repro.datasets.rf import ReceiverSpec, generate_receiver
+        from repro.spice.netlist import DeviceKind, Device
+
+        pipeline = GanaPipeline(annotator=quick_rf_annotator)
+        lc = generate_receiver(ReceiverSpec(osc_topology="lc_nmos"))
+
+        explicit = pipeline.run(
+            lc.circuit, port_labels=lc.port_labels, name="explicit",
+            infer_testbench=False,
+        )
+        truth = lc.truth(explicit.graph)
+        explicit_acc = explicit.accuracies(truth)["post2"]
+
+        # Build the testbench variant: RF port + no designer labels.
+        import copy
+
+        circuit = copy.deepcopy(lc.circuit)
+        circuit.add(
+            Device(
+                name="vrf", kind=DeviceKind.VSOURCE,
+                pins=(("p", "rfsrc"), ("n", "0")), model="sin",
+            )
+        )
+        circuit.add(
+            Device(
+                name="rport", kind=DeviceKind.RESISTOR,
+                pins=(("p", "rfsrc"), ("n", "rfin")), value=50.0,
+            )
+        )
+        # The paper's receivers take an external LO; our generator's
+        # oscillator is on-chip, so only the antenna needs inference —
+        # the oscillating nets keep the generator's labels here.
+        inferred = pipeline.run(
+            circuit,
+            port_labels={
+                k: v for k, v in lc.port_labels.items() if v == "oscillating"
+            },
+            name="inferred",
+        )
+        inferred_acc = inferred.accuracies(truth)["post2"]
+        assert inferred_acc >= explicit_acc - 1e-9

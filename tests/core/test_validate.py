@@ -1,0 +1,118 @@
+"""Constraint-vs-netlist validation."""
+
+import pytest
+
+from repro.core.constraints import Constraint, ConstraintKind, ConstraintSet
+from repro.core.validate import validate_constraints
+from repro.spice.netlist import Circuit, DeviceKind, make_mos, make_passive
+
+
+def _circuit(w2=2e-6):
+    c = Circuit(name="t")
+    c.add(make_mos("m1", DeviceKind.NMOS, "a", "g", "s", w=2e-6, l=100e-9))
+    c.add(make_mos("m2", DeviceKind.NMOS, "b", "g", "s", w=w2, l=100e-9))
+    c.add(make_passive("c1", DeviceKind.CAPACITOR, "a", "x", 1e-12))
+    c.add(make_passive("c2", DeviceKind.CAPACITOR, "b", "x", 1e-12))
+    return c
+
+
+def _set(*constraints):
+    s = ConstraintSet()
+    s.extend(list(constraints))
+    return s
+
+
+class TestMatching:
+    def test_identical_devices_pass(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.MATCHING, ("m1", "m2"))), _circuit()
+        )
+        assert violations == []
+
+    def test_width_mismatch_flagged(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.MATCHING, ("m1", "m2"))),
+            _circuit(w2=4e-6),
+        )
+        assert len(violations) == 1
+        assert "differ" in str(violations[0])
+
+    def test_matched_capacitors(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.MATCHING, ("c1", "c2"))), _circuit()
+        )
+        assert violations == []
+
+    def test_kind_mismatch_flagged(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.MATCHING, ("m1", "c1"))), _circuit()
+        )
+        assert len(violations) == 1
+
+    def test_common_centroid_checked_like_matching(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.COMMON_CENTROID, ("m1", "m2"))),
+            _circuit(w2=8e-6),
+        )
+        assert len(violations) == 1
+
+
+class TestSymmetry:
+    def test_symmetric_pair_pass(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.SYMMETRY, ("m1", "m2"))), _circuit()
+        )
+        assert violations == []
+
+    def test_symmetric_pair_mismatch(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.SYMMETRY, ("m1", "m2"))),
+            _circuit(w2=4e-6),
+        )
+        assert len(violations) == 1
+        assert "symmetric pair" in violations[0].message
+
+    def test_odd_member_on_axis_not_compared(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.SYMMETRY, ("m1", "m2", "c1"))),
+            _circuit(),
+        )
+        assert violations == []
+
+
+class TestSkipping:
+    def test_block_level_constraints_skipped(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.SYMMETRY, ("ota0",))), _circuit()
+        )
+        assert violations == []
+
+    def test_unknown_members_skipped(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.MATCHING, ("ghost1", "ghost2"))),
+            _circuit(),
+        )
+        assert violations == []
+
+    def test_guard_ring_not_geometry_checked(self):
+        violations = validate_constraints(
+            _set(Constraint(ConstraintKind.GUARD_RING, ("m1", "m2"))),
+            _circuit(w2=9e-6),
+        )
+        assert violations == []
+
+
+class TestPipelineOutputValidates:
+    def test_generated_circuits_satisfy_their_constraints(
+        self, quick_ota_annotator
+    ):
+        """Recognition on our generators yields zero violations — the
+        generators build matched structures with matched geometry."""
+        from repro.core.pipeline import GanaPipeline
+        from repro.datasets.ota import OtaSpec, generate_ota
+
+        pipeline = GanaPipeline(annotator=quick_ota_annotator)
+        lc = generate_ota(OtaSpec(topology="telescopic"))
+        result = pipeline.run(lc.circuit, name=lc.name)
+        violations = validate_constraints(result.constraints, lc.circuit)
+        assert violations == []

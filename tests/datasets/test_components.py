@@ -1,0 +1,139 @@
+"""Circuit builder and net-label derivation."""
+
+import pytest
+
+from repro.datasets.components import (
+    GND,
+    VDD,
+    CircuitBuilder,
+    derive_net_labels,
+)
+from repro.exceptions import DatasetError
+from repro.graph.bipartite import CircuitGraph
+from repro.spice.netlist import DeviceKind
+
+
+class TestBuilder:
+    def test_fresh_names_unique(self):
+        b = CircuitBuilder("t")
+        names = {b.fresh("m") for _ in range(20)}
+        assert len(names) == 20
+
+    def test_duplicate_name_rejected(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="a", g="b", s="c")
+        with pytest.raises(DatasetError):
+            b.nmos("m1", d="x", g="y", s="z")
+
+    def test_labels_recorded(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="a", g="b", s="c", label="ota")
+        b.resistor("r1", p="a", n="b", value=1e3)
+        assert b.device_labels == {"m1": "ota"}
+
+    def test_diff_pair_structure(self):
+        b = CircuitBuilder("t")
+        a, c = b.diff_pair(
+            inp="ip", inn="in_", out1="o1", out2="o2", tail="t", label="x"
+        )
+        da, dc = b.circuit.device(a), b.circuit.device(c)
+        assert da.pin_map["s"] == dc.pin_map["s"] == "t"
+        assert da.pin_map["g"] == "ip"
+        assert dc.pin_map["g"] == "in_"
+
+    def test_current_mirror_diode_plus_outputs(self):
+        b = CircuitBuilder("t")
+        names = b.current_mirror(ref="r", outs=("o1", "o2"), rail=GND)
+        assert len(names) == 3
+        diode = b.circuit.device(names[0])
+        assert diode.pin_map["d"] == diode.pin_map["g"] == "r"
+
+    def test_cascode_mirror_four_devices(self):
+        b = CircuitBuilder("t")
+        names = b.cascode_mirror(ref="r", out="o", rail=GND)
+        assert len(names) == 4
+
+    def test_cross_coupled_pair(self):
+        b = CircuitBuilder("t")
+        a, c = b.cross_coupled_pair(d1="x", d2="y", s="t")
+        da, dc = b.circuit.device(a), b.circuit.device(c)
+        assert da.pin_map["g"] == dc.pin_map["d"]
+        assert dc.pin_map["g"] == da.pin_map["d"]
+
+    def test_inverter_polarities(self):
+        b = CircuitBuilder("t")
+        n, p = b.inverter(inp="i", out="o")
+        assert b.circuit.device(n).kind is DeviceKind.NMOS
+        assert b.circuit.device(p).kind is DeviceKind.PMOS
+        assert b.circuit.device(n).pin_map["s"] == GND
+        assert b.circuit.device(p).pin_map["s"] == VDD
+
+    def test_rc_compensation_internal_node(self):
+        b = CircuitBuilder("t")
+        r, c = b.rc_compensation(a="x", b="y")
+        mid = b.circuit.device(r).pin_map["n"]
+        assert b.circuit.device(c).pin_map["p"] == mid
+        assert mid not in ("x", "y")
+
+    def test_current_reference_polarities(self):
+        b = CircuitBuilder("t")
+        _r, m = b.current_reference(ref="vb", polarity="n")
+        dev = b.circuit.device(m)
+        assert dev.pin_map["d"] == dev.pin_map["g"] == "vb"
+        assert dev.pin_map["s"] == GND
+
+    def test_finish_validates_labels(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="a", g="b", s="c", label="weird")
+        with pytest.raises(DatasetError):
+            b.finish(class_names=("ota", "bias"))
+
+    def test_finish_packages_everything(self):
+        b = CircuitBuilder("t", ports=("a",))
+        b.nmos("m1", d="a", g="b", s=GND, label="ota")
+        b.mark_port("a", "antenna")
+        lc = b.finish(class_names=("ota", "bias"))
+        assert lc.device_labels == {"m1": "ota"}
+        assert lc.port_labels == {"a": "antenna"}
+        assert lc.n_devices == 1
+
+
+class TestNetLabelDerivation:
+    def test_unanimous_net_labeled(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="x", g="i1", s=GND, label="ota")
+        b.nmos("m2", d="x", g="i2", s=GND, label="ota")
+        graph = CircuitGraph.from_circuit(b.circuit)
+        labels = derive_net_labels(graph, b.device_labels)
+        assert labels["x"] == "ota"
+
+    def test_boundary_net_excluded(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="x", g="i", s=GND, label="ota")
+        b.nmos("m2", d="y", g="x", s=GND, label="bias")
+        graph = CircuitGraph.from_circuit(b.circuit)
+        labels = derive_net_labels(graph, b.device_labels)
+        assert "x" not in labels
+
+    def test_power_nets_excluded(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="x", g="i", s=GND, label="ota")
+        graph = CircuitGraph.from_circuit(b.circuit)
+        labels = derive_net_labels(graph, b.device_labels)
+        assert GND not in labels
+
+    def test_unlabeled_devices_ignored(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="x", g="i", s=GND, label="ota")
+        b.resistor("r1", p="x", n="q", value=1e3)  # no label
+        graph = CircuitGraph.from_circuit(b.circuit)
+        labels = derive_net_labels(graph, b.device_labels)
+        assert labels["x"] == "ota"
+
+    def test_truth_combines_devices_and_nets(self):
+        b = CircuitBuilder("t")
+        b.nmos("m1", d="x", g="i", s=GND, label="ota")
+        lc = b.finish(class_names=("ota", "bias"))
+        truth = lc.truth()
+        assert truth["m1"] == "ota"
+        assert truth["x"] == "ota"

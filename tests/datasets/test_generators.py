@@ -1,0 +1,178 @@
+"""OTA / RF / system generators: structure, labels, CCC separation."""
+
+import pytest
+
+from repro.datasets.components import LabeledCircuit
+from repro.datasets.ota import (
+    OTA_CLASSES,
+    TOPOLOGIES,
+    OtaSpec,
+    generate_ota,
+    ota_variants,
+)
+from repro.datasets.rf import (
+    LNA_TOPOLOGIES,
+    MIXER_TOPOLOGIES,
+    OSC_TOPOLOGIES,
+    ReceiverSpec,
+    generate_receiver,
+    generate_single_block,
+    receiver_variants,
+)
+from repro.datasets.systems import phased_array, sample_and_hold, switched_cap_filter
+from repro.exceptions import DatasetError
+from repro.graph.bipartite import CircuitGraph
+from repro.graph.ccc import channel_connected_components
+
+
+def _ccc_classes_pure(lc: LabeledCircuit) -> bool:
+    """True when no CCC mixes devices of different truth classes."""
+    graph = CircuitGraph.from_circuit(lc.circuit)
+    partition = channel_connected_components(graph)
+    for members in partition.components:
+        classes = {
+            lc.device_labels[graph.elements[i].name]
+            for i in members
+            if graph.elements[i].name in lc.device_labels
+        }
+        if len(classes) > 1:
+            return False
+    return True
+
+
+class TestOtaGenerator:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("polarity", ["n", "p"])
+    def test_every_topology_builds(self, topology, polarity):
+        lc = generate_ota(OtaSpec(topology=topology, polarity=polarity))
+        assert lc.n_devices >= 8
+        assert set(lc.device_labels.values()) <= set(OTA_CLASSES)
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_signal_bias_ccc_separation(self, topology):
+        """The property Post-I depends on: no CCC mixes ota and bias."""
+        lc = generate_ota(OtaSpec(topology=topology))
+        assert _ccc_classes_pure(lc)
+
+    def test_has_both_classes(self):
+        lc = generate_ota(OtaSpec())
+        assert set(lc.device_labels.values()) == {"ota", "bias"}
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(DatasetError):
+            OtaSpec(topology="quantum")
+
+    def test_unknown_polarity_rejected(self):
+        with pytest.raises(DatasetError):
+            OtaSpec(polarity="x")
+
+    def test_deterministic(self):
+        a = generate_ota(OtaSpec(size_seed=3))
+        b = generate_ota(OtaSpec(size_seed=3))
+        assert [d.name for d in a.circuit.devices] == [
+            d.name for d in b.circuit.devices
+        ]
+        assert a.device_labels == b.device_labels
+
+    def test_variants_cover_topologies(self):
+        specs = ota_variants(120, seed="cover")
+        assert {s.topology for s in specs} == set(TOPOLOGIES)
+        assert {s.polarity for s in specs} == {"n", "p"}
+
+    def test_sc_input_variant(self):
+        lc = generate_ota(OtaSpec(with_sc_input=True))
+        names = [d.name for d in lc.circuit.devices]
+        assert any(n.startswith("msw") for n in names)
+        assert _ccc_classes_pure(lc)
+
+    def test_input_buffer_variant(self):
+        lc = generate_ota(OtaSpec(with_input_buffer=True))
+        names = [d.name for d in lc.circuit.devices]
+        assert any(n.startswith("mbuf") for n in names)
+
+
+class TestRfGenerators:
+    @pytest.mark.parametrize("topology", LNA_TOPOLOGIES)
+    def test_lna_blocks(self, topology):
+        lc = generate_single_block("lna", topology, seed=0)
+        assert set(lc.device_labels.values()) == {"lna"}
+        assert lc.port_labels.get("rfin") == "antenna"
+
+    @pytest.mark.parametrize("topology", MIXER_TOPOLOGIES)
+    def test_mixer_blocks(self, topology):
+        lc = generate_single_block("mixer", topology, seed=0)
+        assert set(lc.device_labels.values()) == {"mixer"}
+        assert "oscillating" in lc.port_labels.values()
+
+    @pytest.mark.parametrize("topology", OSC_TOPOLOGIES)
+    def test_osc_blocks(self, topology):
+        lc = generate_single_block("osc", topology, seed=0)
+        assert set(lc.device_labels.values()) == {"osc"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_single_block("pll", "x", seed=0)
+
+    @pytest.mark.parametrize("mixer", MIXER_TOPOLOGIES)
+    @pytest.mark.parametrize("osc", OSC_TOPOLOGIES)
+    def test_receivers_build_and_separate(self, mixer, osc):
+        spec = ReceiverSpec(mixer_topology=mixer, osc_topology=osc)
+        lc = generate_receiver(spec)
+        assert set(lc.device_labels.values()) == {"lna", "mixer", "osc"}
+        assert _ccc_classes_pure(lc)
+
+    def test_receiver_port_labels(self):
+        lc = generate_receiver(ReceiverSpec())
+        assert lc.port_labels["rfin"] == "antenna"
+        assert lc.port_labels["lo_p"] == "oscillating"
+
+    def test_variants_deterministic(self):
+        a = receiver_variants(10, seed="s")
+        b = receiver_variants(10, seed="s")
+        assert a == b
+
+
+class TestSystems:
+    def test_switched_cap_filter_size(self):
+        lc = switched_cap_filter()
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        # Paper: 32 devices + 25 nets = 57 nodes; ours lands close.
+        assert 25 <= graph.n_elements <= 40
+        assert 40 <= graph.n_vertices <= 65
+
+    def test_switched_cap_filter_classes(self):
+        lc = switched_cap_filter()
+        assert set(lc.device_labels.values()) == {"ota", "bias"}
+        assert _ccc_classes_pure(lc)
+
+    def test_sample_and_hold_builds(self):
+        lc = sample_and_hold()
+        assert lc.n_devices >= 25
+        assert _ccc_classes_pure(lc)
+
+    def test_phased_array_size(self):
+        lc = phased_array()
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        # Paper: 522 devices + 380 nets = 902 vertices.
+        assert 450 <= graph.n_elements <= 600
+        assert 700 <= graph.n_vertices <= 1000
+
+    def test_phased_array_classes(self):
+        lc = phased_array()
+        assert set(lc.device_labels.values()) == {
+            "lna", "mixer", "osc", "bpf", "buf", "inv",
+        }
+
+    def test_phased_array_ccc_separation(self):
+        assert _ccc_classes_pure(phased_array())
+
+    def test_phased_array_port_labels(self):
+        lc = phased_array(n_channels=2)
+        antennas = [n for n, l in lc.port_labels.items() if l == "antenna"]
+        assert len(antennas) == 2
+        assert any(l == "oscillating" for l in lc.port_labels.values())
+
+    def test_channel_scaling(self):
+        small = phased_array(n_channels=2)
+        large = phased_array(n_channels=4)
+        assert large.n_devices > small.n_devices

@@ -1,0 +1,123 @@
+"""Perturbation utilities and preprocessing invariance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.ota import TOPOLOGIES, OtaSpec, generate_ota
+from repro.datasets.perturb import (
+    add_decaps,
+    add_dummies,
+    perturb_all,
+    split_parallel,
+    stack_series,
+)
+from repro.graph.bipartite import CircuitGraph
+from repro.spice.preprocess import preprocess
+
+
+@pytest.fixture()
+def clean():
+    return generate_ota(OtaSpec(topology="five_transistor"), name="clean")
+
+
+class TestPerturbations:
+    def test_split_parallel_adds_devices(self, clean):
+        perturbed = split_parallel(clean, fraction=1.0)
+        n_transistors = sum(
+            1 for d in clean.circuit.devices if d.kind.is_transistor
+        )
+        assert perturbed.n_devices == clean.n_devices + n_transistors
+
+    def test_split_halves_multiplier(self, clean):
+        perturbed = split_parallel(clean, fraction=1.0)
+        original = clean.circuit.devices[-1]
+        for dev in perturbed.circuit.devices:
+            if dev.name.endswith("__p2"):
+                base = perturbed.circuit.device(dev.name[: -len("__p2")])
+                assert dev.param("m") == base.param("m")
+
+    def test_stack_series_introduces_mid_nets(self, clean):
+        perturbed = stack_series(clean, fraction=1.0)
+        assert any("__mid" in n for n in perturbed.circuit.nets)
+
+    def test_dummies_unlabeled(self, clean):
+        perturbed = add_dummies(clean, count=4)
+        assert perturbed.n_devices == clean.n_devices + 4
+        assert not any(
+            n.startswith("mdummy") for n in perturbed.device_labels
+        )
+
+    def test_decaps_between_rails(self, clean):
+        perturbed = add_decaps(clean, count=2)
+        for dev in perturbed.circuit.devices:
+            if dev.name.startswith("cdecap"):
+                assert set(dev.nets) == {"vdd!", "gnd!"}
+
+    def test_labels_preserved_for_clones(self, clean):
+        perturbed = split_parallel(clean, fraction=1.0)
+        for name, label in clean.device_labels.items():
+            assert perturbed.device_labels[name] == label
+            assert perturbed.device_labels.get(f"{name}__p2", label) == label
+
+
+class TestPreprocessInvariance:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_preprocess_restores_clean_structure(self, topology):
+        clean_item = generate_ota(OtaSpec(topology=topology), name="inv")
+        perturbed = perturb_all(clean_item, seed=1)
+        reduced, _report = preprocess(perturbed.circuit)
+        clean_names = {d.name for d in clean_item.circuit.devices}
+        reduced_names = {d.name for d in reduced.devices}
+        assert reduced_names == clean_names
+
+    def test_geometry_restored(self):
+        clean_item = generate_ota(OtaSpec(topology="five_transistor"), name="g")
+        perturbed = perturb_all(clean_item, seed=2)
+        reduced, _ = preprocess(perturbed.circuit)
+        for dev in clean_item.circuit.devices:
+            restored = reduced.device(dev.name)
+            if dev.kind.is_transistor:
+                assert restored.param("m", 1.0) == pytest.approx(
+                    dev.param("m", 1.0)
+                )
+                assert restored.param("l") == pytest.approx(dev.param("l"))
+
+    def test_graph_identical_after_preprocess(self):
+        clean_item = generate_ota(OtaSpec(topology="telescopic"), name="gg")
+        perturbed = perturb_all(clean_item, seed=3)
+        reduced, _ = preprocess(perturbed.circuit)
+        g_clean = CircuitGraph.from_circuit(clean_item.circuit)
+        g_reduced = CircuitGraph.from_circuit(reduced)
+        assert g_clean.n_elements == g_reduced.n_elements
+        assert set(g_clean.net_index) == set(g_reduced.net_index)
+        assert len(g_clean.edges) == len(g_reduced.edges)
+
+    @given(
+        st.sampled_from(TOPOLOGIES),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_invariance_property(self, topology, seed):
+        clean_item = generate_ota(
+            OtaSpec(topology=topology, size_seed=seed % 7), name=f"p{seed}"
+        )
+        perturbed = perturb_all(clean_item, seed=seed)
+        reduced, _ = preprocess(perturbed.circuit)
+        assert {d.name for d in reduced.devices} == {
+            d.name for d in clean_item.circuit.devices
+        }
+
+
+class TestRecognitionRobustness:
+    def test_pipeline_accuracy_unchanged(self, quick_ota_annotator):
+        from repro.core.pipeline import GanaPipeline
+
+        pipeline = GanaPipeline(annotator=quick_ota_annotator)
+        clean_item = generate_ota(OtaSpec(topology="two_stage"), name="rob")
+        perturbed = perturb_all(clean_item, seed=5)
+
+        clean_result = pipeline.run(clean_item.circuit, name="clean")
+        pert_result = pipeline.run(perturbed.circuit, name="pert")
+        truth = clean_item.truth(clean_result.graph)
+        assert pert_result.accuracies(truth) == clean_result.accuracies(truth)

@@ -1,0 +1,112 @@
+"""Dataset assembly: sizes, summaries, samples, train/test disjointness."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import (
+    build_samples,
+    generate_ota_bias_dataset,
+    generate_ota_test_set,
+    generate_rf_dataset,
+    generate_rf_test_set,
+    summarize,
+    task_classes,
+)
+from repro.exceptions import DatasetError
+from repro.spice.writer import write_circuit
+
+
+class TestGeneration:
+    def test_ota_dataset_labels(self):
+        dataset = generate_ota_bias_dataset(12)
+        assert len(dataset) == 12
+        summary = summarize("ota", dataset)
+        assert summary.n_labels == 2
+        assert summary.n_features == 18
+
+    def test_rf_dataset_labels(self):
+        dataset = generate_rf_dataset(12)
+        summary = summarize("rf", dataset)
+        assert summary.n_labels == 3
+
+    def test_rf_mixes_blocks_and_receivers(self):
+        dataset = generate_rf_dataset(20)
+        class_counts = [len(set(d.device_labels.values())) for d in dataset]
+        assert 1 in class_counts  # single blocks
+        assert 3 in class_counts  # receivers
+
+    def test_names_unique(self):
+        dataset = generate_ota_bias_dataset(20)
+        names = [d.name for d in dataset]
+        assert len(names) == len(set(names))
+
+    def test_train_test_seed_streams_differ(self):
+        train = generate_ota_bias_dataset(10)
+        test = generate_ota_test_set(10)
+        train_decks = {write_circuit(d.circuit) for d in train}
+        test_decks = {write_circuit(d.circuit) for d in test}
+        # Different seed streams should not reproduce identical decks.
+        assert len(train_decks & test_decks) < len(test_decks)
+
+    def test_rf_test_set_is_receivers_only(self):
+        test = generate_rf_test_set(8)
+        for item in test:
+            assert set(item.device_labels.values()) == {"lna", "mixer", "osc"}
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            summarize("x", [])
+
+
+class TestBuildSamples:
+    def test_samples_match_dataset(self):
+        dataset = generate_ota_bias_dataset(5)
+        samples = build_samples(dataset, task_classes("ota"), levels=2)
+        assert len(samples) == 5
+        for sample, item in zip(samples, dataset):
+            assert sample.name == item.name
+            assert sample.features.shape[1] == 18
+
+    def test_labels_are_class_ids(self):
+        dataset = generate_ota_bias_dataset(3)
+        samples = build_samples(dataset, task_classes("ota"), levels=2)
+        for sample in samples:
+            valid = sample.labels[sample.mask]
+            assert ((valid >= 0) & (valid < 2)).all()
+
+    def test_mask_covers_devices(self):
+        dataset = generate_ota_bias_dataset(3)
+        samples = build_samples(dataset, task_classes("ota"), levels=2)
+        for sample, item in zip(samples, dataset):
+            assert int(sample.mask.sum()) >= item.n_devices
+
+    def test_unknown_classes_masked(self):
+        from repro.datasets.systems import phased_array
+
+        samples = build_samples([phased_array(n_channels=2)], task_classes("rf"), levels=2)
+        (sample,) = samples
+        graph = sample.graph
+        # bpf/buf/inv devices must be masked out of training.
+        for i, dev in enumerate(graph.elements):
+            name = dev.name
+            if "bpf" in name or "buf" in name or "inv" in name.replace("minj", ""):
+                pass  # name-based check is fuzzy; rely on counts below
+        assert int(sample.mask.sum()) < sample.n_vertices
+
+    def test_preprocess_option(self):
+        dataset = generate_ota_bias_dataset(2)
+        plain = build_samples(dataset, task_classes("ota"), levels=2)
+        pre = build_samples(
+            dataset, task_classes("ota"), levels=2, run_preprocess=True
+        )
+        assert len(plain) == len(pre)
+
+
+class TestTaskClasses:
+    def test_known_tasks(self):
+        assert task_classes("ota") == ("ota", "bias")
+        assert task_classes("rf") == ("lna", "mixer", "osc")
+
+    def test_unknown_task(self):
+        with pytest.raises(DatasetError):
+            task_classes("dsp")

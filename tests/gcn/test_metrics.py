@@ -1,0 +1,107 @@
+"""Accuracy, confusion matrices, per-class reports."""
+
+import numpy as np
+import pytest
+
+from repro.gcn.metrics import (
+    accuracy,
+    class_report,
+    confusion_matrix,
+    mean_and_variance,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 1, 2])
+        assert accuracy(y, y) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 2])) == pytest.approx(2 / 3)
+
+    def test_masked(self):
+        pred = np.array([0, 9, 9])
+        true = np.array([0, 1, 2])
+        mask = np.array([True, False, False])
+        assert accuracy(pred, true, mask) == 1.0
+
+    def test_empty_mask_is_perfect(self):
+        assert accuracy(np.array([1]), np.array([0]), np.array([False])) == 1.0
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        pred = np.array([0, 0, 1, 1])
+        true = np.array([0, 1, 1, 1])
+        m = confusion_matrix(pred, true, n_classes=2)
+        np.testing.assert_array_equal(m, [[1, 0], [1, 2]])
+
+    def test_trace_is_correct_count(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 4, 50)
+        pred = rng.integers(0, 4, 50)
+        m = confusion_matrix(pred, true, 4)
+        assert np.trace(m) == int((pred == true).sum())
+        assert m.sum() == 50
+
+
+class TestClassReport:
+    def test_perfect_diagonal(self):
+        m = np.diag([5, 3, 2])
+        report = class_report(m)
+        np.testing.assert_allclose(report.precision, 1.0)
+        np.testing.assert_allclose(report.recall, 1.0)
+        assert report.macro_f1 == 1.0
+
+    def test_absent_class_zeroed(self):
+        m = np.array([[5, 0], [0, 0]])
+        report = class_report(m)
+        assert report.recall[1] == 0.0
+        assert report.support[1] == 0
+        assert report.macro_f1 == 1.0  # only present classes averaged
+
+    def test_known_values(self):
+        m = np.array([[8, 2], [4, 6]])
+        report = class_report(m)
+        assert report.precision[0] == pytest.approx(8 / 12)
+        assert report.recall[0] == pytest.approx(0.8)
+
+
+class TestMeanVariance:
+    def test_matches_numpy(self):
+        values = [0.8, 0.9, 0.85]
+        mean, var = mean_and_variance(values)
+        assert mean == pytest.approx(np.mean(values))
+        assert var == pytest.approx(np.var(values))
+
+    def test_empty(self):
+        assert mean_and_variance([]) == (0.0, 0.0)
+
+
+class TestClassificationReport:
+    def test_contains_all_classes(self):
+        from repro.gcn.metrics import classification_report
+
+        m = np.array([[8, 2], [1, 9]])
+        text = classification_report(m, ("ota", "bias"))
+        assert "ota" in text and "bias" in text
+
+    def test_accuracy_line(self):
+        from repro.gcn.metrics import classification_report
+
+        m = np.array([[8, 2], [1, 9]])
+        text = classification_report(m, ("a", "b"))
+        assert "accuracy 85.0% (17/20)" in text
+
+    def test_perfect_matrix(self):
+        from repro.gcn.metrics import classification_report
+
+        m = np.diag([5, 5])
+        text = classification_report(m, ("a", "b"))
+        assert "100.0%" in text
+
+    def test_empty_matrix(self):
+        from repro.gcn.metrics import classification_report
+
+        text = classification_report(np.zeros((2, 2), dtype=int), ("a", "b"))
+        assert "accuracy 100.0% (0/0)" in text

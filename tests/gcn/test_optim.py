@@ -1,0 +1,86 @@
+"""Optimizers: convergence on convex problems, decay, weight decay."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelConfigError
+from repro.gcn.optim import SGD, Adam
+
+
+def _quadratic_slots(start):
+    """One parameter dict with a single vector; loss = ½‖x − 3‖²."""
+    params = {"weight": np.array(start, dtype=float)}
+    grads = {"weight": np.zeros_like(params["weight"])}
+    return params, grads
+
+
+def _minimize(optimizer, params, grads, steps=300):
+    for _ in range(steps):
+        grads["weight"][:] = params["weight"] - 3.0
+        optimizer.step()
+    return params["weight"]
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        params, grads = _quadratic_slots([10.0, -4.0])
+        opt = SGD([(params, grads)], lr=0.1, momentum=0.9)
+        result = _minimize(opt, params, grads)
+        np.testing.assert_allclose(result, 3.0, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        p1, g1 = _quadratic_slots([10.0])
+        p2, g2 = _quadratic_slots([10.0])
+        plain = SGD([(p1, g1)], lr=0.01, momentum=0.0)
+        momentum = SGD([(p2, g2)], lr=0.01, momentum=0.9)
+        _minimize(plain, p1, g1, steps=50)
+        _minimize(momentum, p2, g2, steps=50)
+        assert abs(p2["weight"][0] - 3.0) < abs(p1["weight"][0] - 3.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ModelConfigError):
+            SGD([], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params, grads = _quadratic_slots([10.0, -4.0])
+        opt = Adam([(params, grads)], lr=0.1)
+        result = _minimize(opt, params, grads, steps=500)
+        np.testing.assert_allclose(result, 3.0, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |Δx| of the first Adam step ≈ lr.
+        params, grads = _quadratic_slots([10.0])
+        opt = Adam([(params, grads)], lr=0.5)
+        grads["weight"][:] = params["weight"] - 3.0
+        before = params["weight"].copy()
+        opt.step()
+        assert abs(params["weight"][0] - before[0]) == pytest.approx(0.5, rel=1e-3)
+
+    def test_weight_decay_shrinks_weights(self):
+        params = {"weight": np.array([5.0])}
+        grads = {"weight": np.zeros(1)}
+        opt = Adam([(params, grads)], lr=0.1, weight_decay=0.1)
+        for _ in range(500):
+            grads["weight"][:] = 0.0  # only the decay term acts
+            opt.step()
+        assert abs(params["weight"][0]) < 0.5
+
+    def test_bias_params_skip_weight_decay(self):
+        params = {"bias": np.array([5.0])}
+        grads = {"bias": np.zeros(1)}
+        opt = Adam([(params, grads)], lr=0.1, weight_decay=0.1)
+        for _ in range(50):
+            grads["bias"][:] = 0.0
+            opt.step()
+        assert params["bias"][0] == pytest.approx(5.0)
+
+
+class TestLrDecay:
+    def test_decay_multiplies(self):
+        params, grads = _quadratic_slots([1.0])
+        opt = SGD([(params, grads)], lr=1.0)
+        opt.decay_lr(0.5)
+        opt.decay_lr(0.5)
+        assert opt.lr == pytest.approx(0.25)

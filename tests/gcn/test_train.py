@@ -1,0 +1,166 @@
+"""Training loop: overfitting, early stopping, cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelConfigError
+from repro.gcn.model import GCNConfig, GCNModel
+from repro.gcn.samples import (
+    GraphSample,
+    class_weights,
+    kfold_indices,
+    train_validation_split,
+)
+from repro.gcn.train import (
+    TrainConfig,
+    cross_validate,
+    evaluate,
+    evaluate_confusion,
+    train,
+)
+from repro.graph.bipartite import CircuitGraph
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+from tests.conftest import CURRENT_MIRROR_DECK, DIFF_OTA_DECK
+
+
+def _sample(deck: str, labels: dict[str, int]) -> GraphSample:
+    graph = CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+    return GraphSample.from_graph(graph, labels, levels=2)
+
+
+@pytest.fixture()
+def samples() -> list[GraphSample]:
+    ota = _sample(
+        DIFF_OTA_DECK, {"m0": 1, "m1": 1, "m2": 0, "m3": 0, "m4": 0, "m5": 0}
+    )
+    cm = _sample(CURRENT_MIRROR_DECK, {"m0": 1, "m1": 1})
+    return [ota, cm]
+
+
+def _config() -> GCNConfig:
+    return GCNConfig(
+        n_classes=2, filter_size=4, channels=(8, 8), fc_size=16,
+        dropout=0.0, batch_norm=True, seed=0,
+    )
+
+
+class TestTrain:
+    def test_overfits_tiny_set(self, samples):
+        model = GCNModel(_config())
+        history = train(
+            model, samples, config=TrainConfig(epochs=80, batch_size=2, lr=5e-3, patience=0)
+        )
+        assert history.train_accuracy[-1] == 1.0
+
+    def test_loss_decreases(self, samples):
+        model = GCNModel(_config())
+        history = train(
+            model, samples, config=TrainConfig(epochs=40, batch_size=2, lr=3e-3, patience=0)
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_validation_history_recorded(self, samples):
+        model = GCNModel(_config())
+        history = train(
+            model, samples, samples, TrainConfig(epochs=10, patience=0)
+        )
+        assert len(history.val_accuracy) == 10
+        assert history.best_epoch >= 0
+
+    def test_early_stopping_halts(self, samples):
+        model = GCNModel(_config())
+        history = train(
+            model,
+            samples,
+            samples,
+            TrainConfig(epochs=500, batch_size=2, lr=5e-3, patience=3),
+        )
+        assert len(history.val_accuracy) < 500
+
+    def test_best_state_restored(self, samples):
+        model = GCNModel(_config())
+        history = train(
+            model, samples, samples, TrainConfig(epochs=30, lr=5e-3, patience=10)
+        )
+        final = evaluate(model, samples)
+        assert final == pytest.approx(max(history.val_accuracy))
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ModelConfigError):
+            train(GCNModel(_config()), [], config=TrainConfig(epochs=1))
+
+    def test_unknown_optimizer_rejected(self, samples):
+        with pytest.raises(ModelConfigError):
+            train(
+                GCNModel(_config()),
+                samples,
+                config=TrainConfig(epochs=1, optimizer="lbfgs"),
+            )
+
+    def test_sgd_path(self, samples):
+        model = GCNModel(_config())
+        history = train(
+            model,
+            samples,
+            config=TrainConfig(epochs=30, optimizer="sgd", lr=1e-2, patience=0),
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_deterministic_given_seed(self, samples):
+        h1 = train(GCNModel(_config()), samples, config=TrainConfig(epochs=5, patience=0))
+        h2 = train(GCNModel(_config()), samples, config=TrainConfig(epochs=5, patience=0))
+        np.testing.assert_allclose(h1.train_loss, h2.train_loss)
+
+
+class TestEvaluate:
+    def test_confusion_shape(self, samples):
+        model = GCNModel(_config())
+        matrix = evaluate_confusion(model, samples, 2)
+        assert matrix.shape == (2, 2)
+        assert matrix.sum() == sum(int(s.mask.sum()) for s in samples)
+
+    def test_accuracy_range(self, samples):
+        model = GCNModel(_config())
+        assert 0.0 <= evaluate(model, samples) <= 1.0
+
+
+class TestSplits:
+    def test_split_fractions(self):
+        samples = [None] * 10  # split only shuffles indices
+        train_set, val_set = train_validation_split(list(range(10)), 0.2)
+        assert len(val_set) == 2
+        assert len(train_set) == 8
+        assert sorted(train_set + val_set) == list(range(10))
+
+    def test_kfold_covers_everything(self):
+        folds = kfold_indices(17, 5)
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(17))
+
+    def test_kfold_disjoint(self):
+        folds = kfold_indices(20, 4)
+        seen = set()
+        for fold in folds:
+            as_set = set(fold.tolist())
+            assert not (as_set & seen)
+            seen |= as_set
+
+    def test_class_weights_balance(self, samples):
+        ota = samples[:1]  # 4 devices of class 0 vs 2 of class 1
+        weights = class_weights(ota, 2)
+        assert weights.shape == (2,)
+        assert weights.mean() == pytest.approx(1.0)
+        assert weights[0] < weights[1]  # majority class weighs less
+
+
+class TestCrossValidate:
+    def test_returns_fold_accuracies(self, samples):
+        accuracies = cross_validate(
+            _config(),
+            samples * 3,  # six samples over 3 folds
+            folds=3,
+            train_config=TrainConfig(epochs=3, patience=0),
+        )
+        assert len(accuracies) == 3
+        assert all(0.0 <= a <= 1.0 for a in accuracies)

@@ -1,0 +1,123 @@
+"""Integration: quick-trained pipelines over held-out circuits.
+
+These are the small-scale analogues of Table II: the quick annotator is
+weaker than the paper-scale model, so thresholds are conservative; the
+full reproduction lives in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GanaPipeline
+from repro.datasets.synth import generate_ota_test_set, generate_rf_test_set
+from repro.datasets.systems import phased_array, switched_cap_filter
+from repro.layout.placer import place_hierarchy
+
+
+@pytest.fixture(scope="module")
+def ota_pipeline(quick_ota_annotator):
+    return GanaPipeline(annotator=quick_ota_annotator)
+
+
+@pytest.fixture(scope="module")
+def rf_pipeline(quick_rf_annotator):
+    return GanaPipeline(annotator=quick_rf_annotator)
+
+
+class TestOtaTask:
+    def test_postprocessing_improves_over_gcn(self, ota_pipeline):
+        test = generate_ota_test_set(8, seed="it-ota")
+        gcn, post = [], []
+        for item in test:
+            result = ota_pipeline.run(
+                item.circuit, port_labels=item.port_labels, name=item.name
+            )
+            accs = result.accuracies(item.truth(result.graph))
+            gcn.append(accs["gcn"])
+            post.append(accs["post1"])
+        assert np.mean(post) >= np.mean(gcn)
+        assert np.mean(post) > 0.85
+
+    def test_hierarchy_covers_every_device(self, ota_pipeline):
+        item = generate_ota_test_set(1, seed="it-cov")[0]
+        result = ota_pipeline.run(item.circuit, name=item.name)
+        assert result.hierarchy.all_devices() == {
+            d.name for d in result.graph.elements
+        }
+
+
+class TestScFilter:
+    def test_pipeline_runs_and_produces_sane_accuracy(self, ota_pipeline):
+        # A single composite circuit under a quick-trained model: the
+        # CCC vote can lose to the raw GCN on one hard instance, so the
+        # claim here is only sanity; the paper-scale run (benchmarks/)
+        # reaches 100 % after Post-I.
+        lc = switched_cap_filter()
+        result = ota_pipeline.run(
+            lc.circuit, port_labels=lc.port_labels, name=lc.name
+        )
+        accs = result.accuracies(lc.truth(result.graph))
+        assert 0.0 <= accs["post1"] <= 1.0
+        assert accs["post1"] >= 0.45
+
+    def test_layout_use_case(self, ota_pipeline):
+        """The Fig. 6 flow: recognize → place → verify constraints."""
+        lc = switched_cap_filter()
+        result = ota_pipeline.run(lc.circuit, name=lc.name)
+        layout = place_hierarchy(result.hierarchy, lc.circuit)
+        layout.verify()
+        assert len(layout.device_rects) == result.graph.n_elements
+
+
+class TestRfTask:
+    def test_receivers_reach_high_accuracy_after_post(self, rf_pipeline):
+        test = generate_rf_test_set(6, seed="it-rf")
+        finals = []
+        for item in test:
+            result = rf_pipeline.run(
+                item.circuit, port_labels=item.port_labels, name=item.name
+            )
+            finals.append(result.accuracies(item.truth(result.graph))["post2"])
+        assert np.mean(finals) > 0.9
+
+    def test_port_rules_never_hurt(self, rf_pipeline):
+        test = generate_rf_test_set(6, seed="it-rf2")
+        for item in test:
+            result = rf_pipeline.run(
+                item.circuit, port_labels=item.port_labels, name=item.name
+            )
+            accs = result.accuracies(item.truth(result.graph))
+            assert accs["post2"] >= accs["post1"] - 1e-9
+
+
+class TestPhasedArray:
+    def test_small_phased_array_end_to_end(self, rf_pipeline):
+        lc = phased_array(n_channels=2)
+        result = rf_pipeline.run(
+            lc.circuit, port_labels=lc.port_labels, name=lc.name
+        )
+        truth = lc.truth(result.graph)
+        accs = result.accuracies(truth)
+        # The staircase of Table II row 4: GCN < post1 <= post2.
+        assert accs["post1"] >= accs["gcn"] - 1e-9
+        assert accs["post2"] >= accs["post1"] - 1e-9
+
+    def test_standalone_primitives_separated(self, rf_pipeline):
+        lc = phased_array(n_channels=2)
+        result = rf_pipeline.run(
+            lc.circuit, port_labels=lc.port_labels, name=lc.name
+        )
+        standalone_classes = {
+            node.block_class
+            for node in result.hierarchy.children
+            if node.name.startswith("standalone/")
+        }
+        assert "INV" in standalone_classes
+        assert "BUF" in standalone_classes
+
+    def test_bpf_detected(self, rf_pipeline):
+        lc = phased_array(n_channels=2)
+        result = rf_pipeline.run(
+            lc.circuit, port_labels=lc.port_labels, name=lc.name
+        )
+        assert "bpf" in result.post2.annotation.extra_classes

@@ -1,0 +1,157 @@
+"""Failure injection: malformed and adversarial inputs must fail
+loudly (typed exceptions) or degrade gracefully — never corrupt state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.annotator import Annotation
+from repro.core.postprocess import postprocess_ccc
+from repro.exceptions import (
+    ElaborationError,
+    GraphConstructionError,
+    SpiceSyntaxError,
+)
+from repro.graph.bipartite import CircuitGraph
+from repro.primitives.library import extended_library
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+
+LIB = extended_library()
+
+
+class TestMalformedSpice:
+    @pytest.mark.parametrize(
+        "deck",
+        [
+            "m1 d g\n.end\n",  # too few MOS nets
+            "r1 a\n.end\n",  # too few passive nets
+            ".subckt s a\nr1 a gnd! 1k\n.end\n",  # unterminated subckt
+            "q1 c b e npn\n.end\n",  # unsupported device
+            ".wibble\n.end\n",  # unknown directive
+        ],
+    )
+    def test_syntax_errors(self, deck):
+        with pytest.raises(SpiceSyntaxError):
+            parse_netlist(deck)
+
+    def test_empty_deck_parses_to_empty_netlist(self):
+        netlist = parse_netlist("")
+        assert not netlist.top.devices
+
+    def test_comment_only_deck(self):
+        netlist = parse_netlist("* nothing here\n")
+        assert not netlist.top.devices
+
+
+class TestElaborationFailures:
+    def test_undefined_subckt(self):
+        with pytest.raises(ElaborationError):
+            flatten(parse_netlist("x1 a b missing\n.end\n"))
+
+    def test_mutual_recursion(self):
+        deck = """
+.subckt a n
+x1 n b
+.ends
+.subckt b n
+x1 n a
+.ends
+x0 top a
+.end
+"""
+        with pytest.raises(ElaborationError):
+            flatten(parse_netlist(deck))
+
+
+class TestDegenerateCircuits:
+    def test_single_device_circuit(self):
+        graph = CircuitGraph.from_circuit(
+            flatten(parse_netlist("r1 a b 1k\n.end\n"))
+        )
+        assert graph.n_elements == 1
+        from repro.graph.ccc import channel_connected_components
+
+        partition = channel_connected_components(graph)
+        assert partition.n_components == 1
+
+    def test_all_devices_on_power_rails(self):
+        deck = "c1 vdd! gnd! 1p\nc2 vdd! gnd! 2p\n.end\n"
+        graph = CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+        from repro.graph.ccc import channel_connected_components
+
+        partition = channel_connected_components(graph)
+        # Both caps float (power nets don't bind); each is a singleton.
+        assert partition.n_components == 2
+
+    def test_disconnected_islands(self):
+        deck = """
+m1 a i1 gnd! gnd! nmos
+m2 b i2 gnd! gnd! nmos
+r1 x y 1k
+.end
+"""
+        graph = CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+        annotation = Annotation(
+            graph=graph,
+            class_names=("ota", "bias"),
+            vertex_classes=np.zeros(graph.n_vertices, dtype=np.int64),
+            probabilities=np.full((graph.n_vertices, 2), 0.5),
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert set(result.annotation.element_classes.values()) <= {"ota", "bias"}
+
+    def test_postprocess_without_probabilities(self):
+        deck = "m1 out in gnd! gnd! nmos\n.end\n"
+        graph = CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+        annotation = Annotation(
+            graph=graph,
+            class_names=("ota", "bias"),
+            vertex_classes=np.zeros(graph.n_vertices, dtype=np.int64),
+            probabilities=None,  # count-vote fallback
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.element_classes["m1"] == "ota"
+
+    def test_unclassified_vertices_survive_postprocess(self):
+        deck = "m1 out in gnd! gnd! nmos\nr1 q z 1k\n.end\n"
+        graph = CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+        classes = np.full(graph.n_vertices, -1, dtype=np.int64)
+        annotation = Annotation(
+            graph=graph,
+            class_names=("ota", "bias"),
+            vertex_classes=classes,
+            probabilities=None,
+        )
+        result = postprocess_ccc(annotation, LIB)
+        # No vote material at all: everything stays unclassified ("?").
+        assert set(result.annotation.element_classes.values()) == {"?"}
+
+
+class TestPipelineRobustness:
+    def test_pipeline_on_trivial_circuit(self, quick_ota_annotator):
+        from repro.core.pipeline import GanaPipeline
+
+        pipeline = GanaPipeline(annotator=quick_ota_annotator)
+        result = pipeline.run("m1 out in tail gnd! nmos\nm2 tail vb gnd! gnd! nmos\n.end\n")
+        assert result.graph.n_elements == 2
+        assert result.hierarchy.all_devices() == {"m1", "m2"}
+
+    def test_pipeline_rejects_bad_spice(self, quick_ota_annotator):
+        from repro.core.pipeline import GanaPipeline
+
+        pipeline = GanaPipeline(annotator=quick_ota_annotator)
+        with pytest.raises(SpiceSyntaxError):
+            pipeline.run("m1 d g\n.end\n")
+
+    def test_pipeline_idempotent(self, quick_ota_annotator):
+        """Two runs on the same input give identical annotations."""
+        from repro.core.pipeline import GanaPipeline
+        from repro.datasets.ota import OtaSpec, generate_ota
+
+        pipeline = GanaPipeline(annotator=quick_ota_annotator)
+        lc = generate_ota(OtaSpec(topology="telescopic"), name="idem")
+        a = pipeline.run(lc.circuit, name="idem")
+        b = pipeline.run(lc.circuit, name="idem")
+        assert a.annotation.element_classes == b.annotation.element_classes
+        assert a.hierarchy.render() == b.hierarchy.render()

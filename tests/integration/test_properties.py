@@ -1,0 +1,201 @@
+"""Hypothesis property tests over the whole stack.
+
+Random OTA/receiver specs flow through generation → graph → CCC →
+primitive matching → postprocessing, checking structural invariants
+that must hold for *every* generated circuit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotator import Annotation
+from repro.core.postprocess import postprocess_ccc
+from repro.datasets.ota import TOPOLOGIES, OtaSpec, generate_ota
+from repro.datasets.rf import (
+    LNA_TOPOLOGIES,
+    MIXER_TOPOLOGIES,
+    OSC_TOPOLOGIES,
+    ReceiverSpec,
+    generate_receiver,
+)
+from repro.graph.bipartite import CircuitGraph
+from repro.graph.ccc import channel_connected_components
+from repro.graph.features import feature_matrix
+from repro.graph.laplacian import laplacian_spectrum
+from repro.primitives.library import extended_library
+from repro.primitives.matcher import annotate_primitives
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+from repro.spice.preprocess import preprocess
+from repro.spice.writer import write_circuit
+
+LIB = extended_library()
+
+ota_specs = st.builds(
+    OtaSpec,
+    topology=st.sampled_from(TOPOLOGIES),
+    polarity=st.sampled_from(["n", "p"]),
+    bias_mirror_outputs=st.integers(min_value=0, max_value=3),
+    bias_cascode=st.booleans(),
+    with_load_caps=st.booleans(),
+    with_input_buffer=st.booleans(),
+    with_sc_input=st.booleans(),
+    size_seed=st.integers(min_value=0, max_value=50),
+)
+
+receiver_specs = st.builds(
+    ReceiverSpec,
+    lna_topology=st.sampled_from(LNA_TOPOLOGIES),
+    lna_stages=st.integers(min_value=1, max_value=3),
+    mixer_topology=st.sampled_from(MIXER_TOPOLOGIES),
+    osc_topology=st.sampled_from(OSC_TOPOLOGIES),
+    ring_stages=st.sampled_from([3, 5]),
+    size_seed=st.integers(min_value=0, max_value=50),
+)
+
+
+class TestOtaInvariants:
+    @given(ota_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_through_spice(self, spec):
+        lc = generate_ota(spec)
+        back = flatten(parse_netlist(write_circuit(lc.circuit)))
+        assert len(back.devices) == lc.n_devices
+
+    @given(ota_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_graph_is_bipartite_with_valid_spectrum(self, spec):
+        lc = generate_ota(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        spectrum = laplacian_spectrum(graph.adjacency())
+        assert spectrum.min() >= -1e-9
+        assert spectrum.max() <= 2 + 1e-9
+
+    @given(ota_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_no_ccc_mixes_classes(self, spec):
+        lc = generate_ota(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        partition = channel_connected_components(graph)
+        for members in partition.components:
+            classes = {
+                lc.device_labels[graph.elements[i].name] for i in members
+            }
+            assert len(classes) == 1
+
+    @given(ota_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_preprocess_only_shrinks(self, spec):
+        lc = generate_ota(spec)
+        reduced, report = preprocess(lc.circuit)
+        assert len(reduced.devices) <= lc.n_devices
+        survivors = {d.name for d in reduced.devices}
+        originals = {
+            orig for name in survivors for orig in report.originals_of(name)
+        }
+        removed = report.removed_names
+        assert survivors <= originals | removed | survivors
+        # Every original device is accounted for: absorbed or removed.
+        all_names = {d.name for d in lc.circuit.devices}
+        assert originals | removed == all_names
+
+    @given(ota_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_features_have_no_nans_and_one_hots(self, spec):
+        lc = generate_ota(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        X = feature_matrix(graph)
+        assert np.isfinite(X).all()
+        # Element rows: exactly one kind slot, exactly one value slot.
+        for i in range(graph.n_elements):
+            assert X[i, :8].sum() == 1.0
+            assert X[i, 9:12].sum() == 1.0
+
+    @given(ota_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_diff_pair_always_found(self, spec):
+        lc = generate_ota(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        result = annotate_primitives(graph, LIB)
+        primitives = {m.primitive for m in result.matches}
+        assert primitives & {"DP-N", "DP-P"}
+
+    @given(ota_specs)
+    @settings(max_examples=10, deadline=None)
+    def test_perfect_probabilities_stay_perfect_after_post1(self, spec):
+        """Postprocessing must never break an already-correct GCN."""
+        lc = generate_ota(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        truth = lc.truth(graph)
+        class_names = ("ota", "bias")
+        ids = {name: i for i, name in enumerate(class_names)}
+        n = graph.n_vertices
+        probs = np.full((n, 2), 0.5)
+        for v in range(n):
+            name = graph.vertex_name(v)
+            if name in truth:
+                probs[v] = 0.02
+                probs[v, ids[truth[name]]] = 0.98
+        annotation = Annotation(
+            graph=graph,
+            class_names=class_names,
+            vertex_classes=probs.argmax(axis=1).astype(np.int64),
+            probabilities=probs,
+        )
+        result = postprocess_ccc(annotation, LIB)
+        assert result.annotation.accuracy(truth) == 1.0
+
+
+class TestReceiverInvariants:
+    @given(receiver_specs)
+    @settings(max_examples=20, deadline=None)
+    def test_no_ccc_mixes_classes(self, spec):
+        lc = generate_receiver(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        partition = channel_connected_components(graph)
+        for members in partition.components:
+            classes = {
+                lc.device_labels[graph.elements[i].name] for i in members
+            }
+            assert len(classes) == 1
+
+    @given(receiver_specs)
+    @settings(max_examples=20, deadline=None)
+    def test_truth_never_contradicts_port_labels(self, spec):
+        lc = generate_receiver(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        truth = lc.truth(graph)
+        antenna_nets = [
+            n for n, l in lc.port_labels.items() if l == "antenna"
+        ]
+        for net in antenna_nets:
+            if net in truth:
+                assert truth[net] == "lna"
+
+    @given(receiver_specs)
+    @settings(max_examples=10, deadline=None)
+    def test_perfect_probabilities_stay_perfect_after_post(self, spec):
+        from repro.core.postprocess import apply_port_rules
+
+        lc = generate_receiver(spec)
+        graph = CircuitGraph.from_circuit(lc.circuit)
+        truth = lc.truth(graph)
+        class_names = ("lna", "mixer", "osc")
+        ids = {name: i for i, name in enumerate(class_names)}
+        n = graph.n_vertices
+        probs = np.full((n, 3), 1 / 3)
+        for v in range(n):
+            name = graph.vertex_name(v)
+            if name in truth and truth[name] in ids:
+                probs[v] = 0.01
+                probs[v, ids[truth[name]]] = 0.98
+        annotation = Annotation(
+            graph=graph,
+            class_names=class_names,
+            vertex_classes=probs.argmax(axis=1).astype(np.int64),
+            probabilities=probs,
+        )
+        result = postprocess_ccc(annotation, LIB)
+        result = apply_port_rules(result, lc.port_labels)
+        assert result.annotation.accuracy(truth) == 1.0

@@ -1,0 +1,95 @@
+"""Simulated-annealing placement refinement."""
+
+import pytest
+
+from repro.core.constraints import Constraint, ConstraintKind
+from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.layout.anneal import AnnealConfig, AnnealResult, anneal_placement
+from repro.layout.wirelength import total_wirelength
+from repro.spice.netlist import Circuit, DeviceKind, make_mos
+
+
+def _fixture(n_blocks: int = 3, devices_per_block: int = 4):
+    """Blocks of devices with nets that reward specific orderings."""
+    circuit = Circuit(name="anneal")
+    root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+    for b in range(n_blocks):
+        block = root.add(
+            HierarchyNode(
+                name=f"blk{b}", kind=NodeKind.SUBBLOCK, block_class="ota"
+            )
+        )
+        for d in range(devices_per_block):
+            name = f"m{b}_{d}"
+            # Chain nets inside the block plus one cross-block net that
+            # couples consecutive blocks — ordering matters for HPWL.
+            circuit.add(
+                make_mos(
+                    name, DeviceKind.NMOS,
+                    f"n{b}_{d}", f"n{b}_{d + 1}", f"x{b}",
+                )
+            )
+            block.add(
+                HierarchyNode(name=name, kind=NodeKind.ELEMENT, devices=(name,))
+            )
+    return root, circuit
+
+
+class TestAnneal:
+    def test_result_is_legal(self):
+        root, circuit = _fixture()
+        result = anneal_placement(root, circuit, AnnealConfig(steps=60))
+        result.layout.verify()
+
+    def test_never_worse_than_initial(self):
+        root, circuit = _fixture()
+        result = anneal_placement(root, circuit, AnnealConfig(steps=80))
+        assert result.final_cost <= result.initial_cost + 1e-9
+
+    def test_best_layout_matches_final_cost(self):
+        root, circuit = _fixture()
+        result = anneal_placement(root, circuit, AnnealConfig(steps=80))
+        assert total_wirelength(result.layout, circuit) == pytest.approx(
+            result.final_cost
+        )
+
+    def test_history_length(self):
+        root, circuit = _fixture()
+        result = anneal_placement(root, circuit, AnnealConfig(steps=25))
+        assert len(result.history) == 26  # initial + one per step
+
+    def test_deterministic_per_seed(self):
+        root, circuit = _fixture()
+        a = anneal_placement(root, circuit, AnnealConfig(steps=40, seed=3))
+        b = anneal_placement(root, circuit, AnnealConfig(steps=40, seed=3))
+        assert a.final_cost == b.final_cost
+        assert a.history == b.history
+
+    def test_improvement_property(self):
+        result = AnnealResult(
+            layout=None, block_order={}, device_orders={},
+            initial_cost=10.0, final_cost=8.0,
+        )
+        assert result.improvement == pytest.approx(0.2)
+
+    def test_symmetry_survives_annealing(self):
+        root, circuit = _fixture(n_blocks=1, devices_per_block=4)
+        block = root.children[0]
+        block.constraints.append(
+            Constraint(ConstraintKind.SYMMETRY, ("m0_0", "m0_1"), source="t")
+        )
+        result = anneal_placement(root, circuit, AnnealConfig(steps=60))
+        result.layout.verify()  # includes the symmetry check
+        assert result.layout.symmetric_pairs
+
+    def test_orders_returned_reproduce_layout(self):
+        from repro.layout.placer import place_hierarchy
+
+        root, circuit = _fixture()
+        result = anneal_placement(root, circuit, AnnealConfig(steps=50))
+        rebuilt = place_hierarchy(
+            root, circuit, result.block_order, result.device_orders
+        )
+        assert total_wirelength(rebuilt, circuit) == pytest.approx(
+            result.final_cost
+        )

@@ -1,0 +1,81 @@
+"""Rectangle geometry and symmetry math."""
+
+import pytest
+
+from repro.exceptions import LayoutError
+from repro.layout.geometry import Rect, bounding_box, symmetry_error
+
+
+class TestRect:
+    def test_positive_size_enforced(self):
+        with pytest.raises(LayoutError):
+            Rect(0, 0, 0, 1)
+        with pytest.raises(LayoutError):
+            Rect(0, 0, 1, -1)
+
+    def test_derived_coordinates(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.x2 == 4
+        assert r.y2 == 6
+        assert r.center == (2.5, 4.0)
+        assert r.area == 12
+
+    def test_moved_to(self):
+        r = Rect(0, 0, 2, 2).moved_to(5, 5)
+        assert (r.x, r.y, r.width, r.height) == (5, 5, 2, 2)
+
+    def test_overlap_detection(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))  # edge contact is fine
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_union(self):
+        u = Rect(0, 0, 1, 1).union(Rect(2, 3, 1, 1))
+        assert (u.x, u.y, u.x2, u.y2) == (0, 0, 3, 4)
+
+    def test_mirror_about_axis(self):
+        r = Rect(3, 1, 2, 2)
+        m = r.mirrored_about_x(2.0)
+        assert m.x == pytest.approx(-1.0)
+        assert m.y == r.y
+        assert m.width == r.width
+
+    def test_mirror_involution(self):
+        r = Rect(3, 1, 2, 2)
+        back = r.mirrored_about_x(7.5).mirrored_about_x(7.5)
+        assert (back.x, back.y) == (r.x, r.y)
+
+
+class TestBoundingBox:
+    def test_single(self):
+        r = Rect(1, 1, 2, 2)
+        assert bounding_box([r]) == r
+
+    def test_multiple(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(4, 5, 1, 1)])
+        assert (box.x2, box.y2) == (5, 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            bounding_box([])
+
+
+class TestSymmetryError:
+    def test_perfect_pair(self):
+        axis = 5.0
+        right = Rect(6, 0, 2, 2)
+        left = right.mirrored_about_x(axis)
+        assert symmetry_error([(left, right)], axis) == 0.0
+
+    def test_offset_detected(self):
+        axis = 5.0
+        right = Rect(6, 0, 2, 2)
+        left = right.mirrored_about_x(axis).moved_to(0, 0.5)
+        assert symmetry_error([(left, right)], axis) > 0
+
+    def test_size_mismatch_detected(self):
+        axis = 5.0
+        right = Rect(6, 0, 2, 2)
+        left = Rect(2, 0, 3, 2)
+        assert symmetry_error([(left, right)], axis) > 0

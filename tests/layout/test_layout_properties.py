@@ -1,0 +1,92 @@
+"""Hypothesis property tests for the layout stack.
+
+Random hierarchies with random symmetry constraints must always place
+legally: no overlaps, exact symmetry, every device covered.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import Constraint, ConstraintKind
+from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.layout.anneal import AnnealConfig, anneal_placement
+from repro.layout.placer import place_hierarchy
+from repro.layout.wirelength import total_wirelength
+from repro.spice.netlist import Circuit, DeviceKind, make_mos, make_passive
+
+
+@st.composite
+def random_hierarchy(draw):
+    """A random system of blocks, devices, and symmetry pairs."""
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10_000)))
+    n_blocks = draw(st.integers(min_value=1, max_value=4))
+    circuit = Circuit(name="rand")
+    root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+    nets = [f"n{i}" for i in range(6)]
+    counter = 0
+    for b in range(n_blocks):
+        block = root.add(
+            HierarchyNode(name=f"blk{b}", kind=NodeKind.SUBBLOCK, block_class="x")
+        )
+        n_devices = draw(st.integers(min_value=1, max_value=6))
+        names = []
+        for _ in range(n_devices):
+            name = f"d{counter}"
+            counter += 1
+            if rng.random() < 0.7:
+                circuit.add(
+                    make_mos(
+                        name, DeviceKind.NMOS,
+                        str(rng.choice(nets)), str(rng.choice(nets)),
+                        str(rng.choice(nets)),
+                        w=float(rng.choice([1e-6, 2e-6, 8e-6])),
+                    )
+                )
+            else:
+                circuit.add(
+                    make_passive(
+                        name, DeviceKind.CAPACITOR,
+                        str(rng.choice(nets)), str(rng.choice(nets)),
+                        float(rng.choice([0.1e-12, 1e-12, 5e-12])),
+                    )
+                )
+            block.add(
+                HierarchyNode(name=name, kind=NodeKind.ELEMENT, devices=(name,))
+            )
+            names.append(name)
+        # Random symmetry pairs over same-footprint devices.
+        if len(names) >= 2 and rng.random() < 0.6:
+            a, b_ = rng.choice(len(names), size=2, replace=False)
+            da = circuit.device(names[a])
+            db = circuit.device(names[b_])
+            from repro.layout.placer import device_footprint
+
+            if device_footprint(da) == device_footprint(db):
+                block.constraints.append(
+                    Constraint(
+                        ConstraintKind.SYMMETRY,
+                        (names[a], names[b_]),
+                        source="rand",
+                    )
+                )
+    return root, circuit
+
+
+class TestPlacementProperties:
+    @given(random_hierarchy())
+    @settings(max_examples=30, deadline=None)
+    def test_constructive_always_legal(self, fixture):
+        root, circuit = fixture
+        layout = place_hierarchy(root, circuit)
+        layout.verify()
+        assert set(layout.device_rects) == {d.name for d in circuit.devices}
+
+    @given(random_hierarchy())
+    @settings(max_examples=10, deadline=None)
+    def test_anneal_always_legal_and_monotone(self, fixture):
+        root, circuit = fixture
+        result = anneal_placement(root, circuit, AnnealConfig(steps=20))
+        result.layout.verify()
+        assert result.final_cost <= result.initial_cost + 1e-9
+        assert total_wirelength(result.layout, circuit) <= result.initial_cost + 1e-9

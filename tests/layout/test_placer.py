@@ -1,0 +1,140 @@
+"""Constraint-aware placement: overlap-free, symmetric, hierarchical."""
+
+import pytest
+
+from repro.core.constraints import Constraint, ConstraintKind
+from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.exceptions import LayoutError
+from repro.layout.geometry import Rect
+from repro.layout.placer import Layout, device_footprint, place_hierarchy
+from repro.spice.netlist import Circuit, DeviceKind, make_mos, make_passive
+
+
+def _ota_fixture():
+    """A hand-built hierarchy + circuit with one symmetric pair."""
+    circuit = Circuit(name="ota")
+    for name in ("m1", "m2", "m3", "m4"):
+        circuit.add(make_mos(name, DeviceKind.NMOS, "d", "g", "s", w=2e-6))
+    circuit.add(make_passive("c1", DeviceKind.CAPACITOR, "a", "b", 1e-12))
+
+    root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+    block = root.add(
+        HierarchyNode(name="ota0", kind=NodeKind.SUBBLOCK, block_class="ota")
+    )
+    block.add(
+        HierarchyNode(
+            name="dp",
+            kind=NodeKind.PRIMITIVE,
+            block_class="DP-N",
+            devices=("m1", "m2"),
+            constraints=[
+                Constraint(ConstraintKind.SYMMETRY, ("m1", "m2"), source="DP-N")
+            ],
+        )
+    )
+    for name in ("m3", "m4", "c1"):
+        block.add(HierarchyNode(name=name, kind=NodeKind.ELEMENT, devices=(name,)))
+    return root, circuit
+
+
+class TestDeviceFootprint:
+    def test_transistor_scales_with_width(self):
+        small = make_mos("a", DeviceKind.NMOS, "d", "g", "s", w=1e-6)
+        big = make_mos("b", DeviceKind.NMOS, "d", "g", "s", w=8e-6)
+        assert device_footprint(big)[0] > device_footprint(small)[0]
+
+    def test_multiplier_counts(self):
+        base = make_mos("a", DeviceKind.NMOS, "d", "g", "s", w=2e-6, m=1.0)
+        multi = make_mos("b", DeviceKind.NMOS, "d", "g", "s", w=2e-6, m=4.0)
+        assert device_footprint(multi)[0] > device_footprint(base)[0]
+
+    def test_capacitor_scales_with_value(self):
+        small = make_passive("c", DeviceKind.CAPACITOR, "a", "b", 0.1e-12)
+        big = make_passive("d", DeviceKind.CAPACITOR, "a", "b", 10e-12)
+        assert device_footprint(big)[0] > device_footprint(small)[0]
+
+    def test_inductor_is_large(self):
+        ind = make_passive("l", DeviceKind.INDUCTOR, "a", "b", 1e-9)
+        res = make_passive("r", DeviceKind.RESISTOR, "a", "b", 1e3)
+        assert device_footprint(ind)[0] > device_footprint(res)[0]
+
+
+class TestPlaceHierarchy:
+    def test_all_devices_placed(self):
+        root, circuit = _ota_fixture()
+        layout = place_hierarchy(root, circuit)
+        assert set(layout.device_rects) == {"m1", "m2", "m3", "m4", "c1"}
+
+    def test_verify_passes(self):
+        root, circuit = _ota_fixture()
+        layout = place_hierarchy(root, circuit)
+        layout.verify()  # no overlap, zero symmetry error
+
+    def test_symmetric_pair_mirrored(self):
+        root, circuit = _ota_fixture()
+        layout = place_hierarchy(root, circuit)
+        axis = layout.symmetry_axes["ota0"]
+        m1 = layout.device_rects["m1"]
+        m2 = layout.device_rects["m2"]
+        mirrored = m2.mirrored_about_x(axis)
+        assert mirrored.x == pytest.approx(m1.x)
+        assert mirrored.y == pytest.approx(m1.y)
+
+    def test_block_outline_covers_members(self):
+        root, circuit = _ota_fixture()
+        layout = place_hierarchy(root, circuit)
+        outline = layout.block_outlines["ota0"]
+        for rect in layout.device_rects.values():
+            assert outline.x <= rect.x and rect.x2 <= outline.x2
+
+    def test_empty_hierarchy_rejected(self):
+        root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+        with pytest.raises(LayoutError):
+            place_hierarchy(root, Circuit(name="c"))
+
+    def test_multiple_blocks_do_not_overlap(self):
+        root, circuit = _ota_fixture()
+        second = HierarchyNode(
+            name="bias0", kind=NodeKind.SUBBLOCK, block_class="bias"
+        )
+        circuit.add(make_mos("mb1", DeviceKind.NMOS, "d", "g", "s"))
+        second.add(
+            HierarchyNode(name="mb1", kind=NodeKind.ELEMENT, devices=("mb1",))
+        )
+        root.add(second)
+        layout = place_hierarchy(root, circuit)
+        layout.verify()
+        a = layout.block_outlines["ota0"]
+        b = layout.block_outlines["bias0"]
+        assert not a.overlaps(b)
+
+    def test_summary(self):
+        root, circuit = _ota_fixture()
+        layout = place_hierarchy(root, circuit)
+        assert "5 devices" in layout.summary()
+
+
+class TestVerify:
+    def test_detects_overlap(self):
+        layout = Layout(
+            device_rects={"a": Rect(0, 0, 2, 2), "b": Rect(1, 1, 2, 2)}
+        )
+        with pytest.raises(LayoutError, match="overlap"):
+            layout.verify()
+
+    def test_detects_symmetry_violation(self):
+        layout = Layout(
+            device_rects={"a": Rect(0, 0, 1, 1), "b": Rect(5, 3, 1, 1)},
+            symmetry_axes={"blk": 3.0},
+            symmetric_pairs={"blk": [("a", "b")]},
+        )
+        with pytest.raises(LayoutError, match="symmetry"):
+            layout.verify()
+
+    def test_missing_axis(self):
+        layout = Layout(
+            device_rects={"a": Rect(0, 0, 1, 1), "b": Rect(5, 0, 1, 1)},
+            symmetric_pairs={"blk": [("a", "b")]},
+        )
+        with pytest.raises(LayoutError, match="axis"):
+            layout.verify()

@@ -1,0 +1,74 @@
+"""HPWL wirelength model."""
+
+import pytest
+
+from repro.layout.geometry import Rect
+from repro.layout.placer import Layout
+from repro.layout.wirelength import (
+    net_hpwl,
+    net_pins,
+    total_wirelength,
+    wirelength_report,
+)
+from repro.spice.netlist import Circuit, DeviceKind, make_mos, make_passive
+
+
+def _circuit() -> Circuit:
+    c = Circuit(name="t")
+    c.add(make_mos("m1", DeviceKind.NMOS, "a", "g1", "gnd!"))
+    c.add(make_mos("m2", DeviceKind.NMOS, "a", "g2", "gnd!"))
+    c.add(make_passive("r1", DeviceKind.RESISTOR, "a", "b", 1e3))
+    return c
+
+
+def _layout() -> Layout:
+    return Layout(
+        device_rects={
+            "m1": Rect(0, 0, 2, 2),  # center (1, 1)
+            "m2": Rect(4, 0, 2, 2),  # center (5, 1)
+            "r1": Rect(0, 4, 2, 2),  # center (1, 5)
+        }
+    )
+
+
+class TestNetPins:
+    def test_power_nets_excluded_by_default(self):
+        pins = net_pins(_circuit())
+        assert "gnd!" not in pins
+        assert pins["a"] == ["m1", "m2", "r1"]
+
+    def test_power_nets_included_on_request(self):
+        pins = net_pins(_circuit(), include_power=True)
+        assert pins["gnd!"] == ["m1", "m2"]
+
+    def test_device_counted_once_per_net(self):
+        c = Circuit(name="diode")
+        c.add(make_mos("m1", DeviceKind.NMOS, "x", "x", "gnd!"))
+        pins = net_pins(c)
+        assert pins["x"] == ["m1"]
+
+
+class TestHpwl:
+    def test_two_pin_net(self):
+        hpwl = net_hpwl(_layout(), ["m1", "m2"])
+        assert hpwl == pytest.approx(4.0)  # Δx=4, Δy=0
+
+    def test_three_pin_net(self):
+        hpwl = net_hpwl(_layout(), ["m1", "m2", "r1"])
+        assert hpwl == pytest.approx(4.0 + 4.0)
+
+    def test_single_pin_net_is_free(self):
+        assert net_hpwl(_layout(), ["m1"]) == 0.0
+
+    def test_unplaced_devices_skipped(self):
+        assert net_hpwl(_layout(), ["m1", "ghost"]) == 0.0
+
+    def test_total(self):
+        total = total_wirelength(_layout(), _circuit())
+        # net a: 8.0; nets g1/g2: single-pin, 0; net b: single-pin, 0.
+        assert total == pytest.approx(8.0)
+
+    def test_report_mentions_total(self):
+        report = wirelength_report(_layout(), _circuit())
+        assert "total HPWL" in report
+        assert "a" in report

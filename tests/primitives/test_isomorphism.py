@@ -1,0 +1,197 @@
+"""VF2 correctness, including a cross-check against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import CircuitGraph
+from repro.primitives.isomorphism import (
+    PatternGraph,
+    VF2Matcher,
+    find_subgraph_isomorphisms,
+)
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+from tests.conftest import CURRENT_MIRROR_DECK, DIFF_OTA_DECK
+
+
+def _graph(deck: str) -> CircuitGraph:
+    return CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+
+
+def _pattern(deck: str, ports: tuple[str, ...]) -> PatternGraph:
+    flat = flatten(parse_netlist(deck))
+    flat.ports = ports
+    return PatternGraph.from_graph(CircuitGraph.from_circuit(flat))
+
+
+CM_PATTERN = _pattern(CURRENT_MIRROR_DECK, ports=("d1", "d2", "s"))
+
+
+class TestBasicMatching:
+    def test_mirror_matches_itself(self):
+        target = _graph(CURRENT_MIRROR_DECK)
+        matches = find_subgraph_isomorphisms(CM_PATTERN, target)
+        assert len(matches) == 1  # diode/output devices are NOT symmetric
+
+    def test_mirror_in_fig3_ota(self, diff_ota_graph):
+        """Fig. 3's blue-edge subgraph: the CM inside the OTA."""
+        matches = find_subgraph_isomorphisms(CM_PATTERN, diff_ota_graph)
+        assert len(matches) == 1
+        mapping = matches[0].as_dict
+        pattern_graph = CM_PATTERN.graph
+        matched_devices = {
+            diff_ota_graph.elements[mapping[pv]].name
+            for pv in range(pattern_graph.n_elements)
+        }
+        assert matched_devices == {"m0", "m1"}
+
+    def test_no_match_in_wrong_polarity(self):
+        pmos_mirror = """
+m0 d1 d1 s vdd! pmos
+m1 d2 d1 s vdd! pmos
+.end
+"""
+        target = _graph(pmos_mirror)
+        assert not find_subgraph_isomorphisms(CM_PATTERN, target)
+
+    def test_limit_stops_early(self, diff_ota_graph):
+        # A single plain transistor pattern has many matches; limit=2.
+        single = _pattern("m1 d g s gnd! nmos\n.end\n", ports=("d", "g", "s"))
+        matches = find_subgraph_isomorphisms(single, diff_ota_graph, limit=2)
+        assert len(matches) == 2
+
+    def test_exists_short_circuit(self, diff_ota_graph):
+        matcher = VF2Matcher(CM_PATTERN, diff_ota_graph)
+        assert matcher.exists()
+
+
+class TestSemanticFeasibility:
+    def test_edge_labels_respected(self):
+        """A diode-connected pattern must not match a plain transistor."""
+        diode = _pattern("m1 d d s gnd! nmos\n.end\n", ports=("d", "s"))
+        plain_target = _graph("m1 d g s gnd! nmos\n.end\n")
+        assert not find_subgraph_isomorphisms(diode, plain_target)
+
+    def test_internal_net_degree_exact(self):
+        """A pattern's internal net must not have extra fanout."""
+        # Series RC with internal midpoint.
+        rc = _pattern("r1 a x 1k\nc1 x b 1p\n.end\n", ports=("a", "b"))
+        clean = _graph("r1 in mid 1k\nc1 mid out 1p\n.end\n")
+        assert len(find_subgraph_isomorphisms(rc, clean)) == 1
+        tapped = _graph("r1 in mid 1k\nc1 mid out 1p\nr2 mid tap 1k\n.end\n")
+        assert not find_subgraph_isomorphisms(rc, tapped)
+
+    def test_boundary_net_fanout_allowed(self):
+        rc = _pattern("r1 a x 1k\nc1 x b 1p\n.end\n", ports=("a", "b"))
+        fanout = _graph(
+            "r1 in mid 1k\nc1 mid out 1p\nr2 in other 1k\nl3 out more 1n\n.end\n"
+        )
+        assert len(find_subgraph_isomorphisms(rc, fanout)) == 1
+
+    def test_element_kind_must_match(self):
+        rc = _pattern("r1 a x 1k\nc1 x b 1p\n.end\n", ports=("a", "b"))
+        ll = _graph("l1 in mid 1n\nc1 mid out 1p\n.end\n")
+        assert not find_subgraph_isomorphisms(rc, ll)
+
+    def test_element_degree_exact(self):
+        """A transistor with merged terminals has fewer edges; a plain
+        3-edge pattern transistor must not match it."""
+        plain = _pattern("m1 d g s gnd! nmos\n.end\n", ports=("d", "g", "s"))
+        diode_target = _graph("m1 d d s gnd! nmos\n.end\n")
+        assert not find_subgraph_isomorphisms(plain, diode_target)
+
+
+class TestAgainstNetworkx:
+    """Cross-validate match *counts* against networkx's VF2 on the same
+    labeled graphs (boundary nets modeled by dropping the degree rule)."""
+
+    def _to_nx(self, graph: CircuitGraph) -> nx.Graph:
+        g = nx.Graph()
+        for i, dev in enumerate(graph.elements):
+            g.add_node(i, kind=dev.kind.value)
+        for j in range(graph.n_nets):
+            g.add_node(graph.n_elements + j, kind="net")
+        for edge in graph.edges:
+            g.add_edge(
+                edge.element, graph.n_elements + edge.net, label=edge.label
+            )
+        return g
+
+    def _nx_count(self, pattern: PatternGraph, target: CircuitGraph) -> int:
+        """Count matches with networkx, applying the same internal-net
+        degree rule as a post-filter, deduplicated like ours isn't —
+        networkx enumerates all vertex mappings, so compare directly."""
+        gp = self._to_nx(pattern.graph)
+        gt = self._to_nx(target)
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            gt,
+            gp,
+            node_match=lambda a, b: a["kind"] == b["kind"],
+            edge_match=lambda a, b: a["label"] == b["label"],
+        )
+        count = 0
+        n_el = pattern.graph.n_elements
+        for mapping in matcher.subgraph_monomorphisms_iter():
+            inverse = {pv: tv for tv, pv in mapping.items()}
+            ok = True
+            for pv in range(pattern.graph.n_vertices):
+                p_deg = gp.degree[pv]
+                t_deg = gt.degree[inverse[pv]]
+                internal = pv >= n_el and (
+                    (pv - n_el) not in pattern.boundary_nets
+                )
+                if pv < n_el or internal:
+                    if p_deg != t_deg:
+                        ok = False
+                        break
+            if ok:
+                count += 1
+        return count
+
+    @pytest.mark.parametrize(
+        "pattern_deck, ports, target_deck",
+        [
+            (CURRENT_MIRROR_DECK, ("d1", "d2", "s"), DIFF_OTA_DECK),
+            ("m1 d g s gnd! nmos\n.end\n", ("d", "g", "s"), DIFF_OTA_DECK),
+            (
+                "m1 d1 inp t gnd! nmos\nm2 d2 inn t gnd! nmos\n.end\n",
+                ("d1", "d2", "inp", "inn", "t"),
+                DIFF_OTA_DECK,
+            ),
+            ("r1 a x 1k\nc1 x b 1p\n.end\n", ("a", "b"),
+             "r1 in mid 1k\nc1 mid out 1p\nc2 in out 2p\n.end\n"),
+        ],
+    )
+    def test_counts_agree(self, pattern_deck, ports, target_deck):
+        pattern = _pattern(pattern_deck, ports)
+        target = _graph(target_deck)
+        ours = find_subgraph_isomorphisms(pattern, target)
+        assert len(ours) == self._nx_count(pattern, target)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_counts_agree_random_targets(self, seed):
+        """Planted random targets: chains of transistors + passives."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        lines = []
+        nets = [f"n{i}" for i in range(6)]
+        for i in range(int(rng.integers(2, 7))):
+            d, g, s = rng.choice(nets, size=3)
+            model = rng.choice(["nmos", "pmos"])
+            if d == s:
+                continue
+            lines.append(f"m{i} {d} {g} {s} gnd! {model}")
+        for i in range(int(rng.integers(0, 4))):
+            a, b = rng.choice(nets, size=2, replace=False)
+            lines.append(f"r{i} {a} {b} 1k")
+        deck = "\n".join(lines) + "\n.end\n"
+        target = _graph(deck)
+        pattern = _pattern(
+            "m1 d g s gnd! nmos\n.end\n", ports=("d", "g", "s")
+        )
+        ours = find_subgraph_isomorphisms(pattern, target)
+        assert len(ours) == self._nx_count(pattern, target)

@@ -1,0 +1,118 @@
+"""The primitive template library (Sec. IV)."""
+
+import pytest
+
+from repro.core.constraints import ConstraintKind
+from repro.exceptions import MatchError
+from repro.primitives.library import (
+    PrimitiveLibrary,
+    PrimitiveTemplate,
+    default_library,
+    extended_library,
+)
+
+
+class TestDefaultLibrary:
+    def test_exactly_21_primitives(self):
+        assert len(default_library()) == 21
+
+    def test_extended_adds_inv_buf(self):
+        lib = extended_library()
+        assert len(lib) == 23
+        assert "INV" in lib.names()
+        assert "BUF" in lib.names()
+
+    def test_names_unique(self):
+        names = default_library().names()
+        assert len(names) == len(set(names))
+
+    def test_expected_core_primitives_present(self):
+        names = set(default_library().names())
+        for expected in ("DP-N", "DP-P", "CM-N(2)", "CM-P(5)", "CC-N",
+                         "CMF-SC", "CR-N", "VR-RD", "CC-RC", "LC-TANK"):
+            assert expected in names
+
+    def test_differential_pairs_carry_symmetry(self):
+        lib = default_library()
+        for name in ("DP-N", "DP-P", "CC-N", "CC-P"):
+            kinds = {c.kind for c in lib.get(name).constraints}
+            assert ConstraintKind.SYMMETRY in kinds
+
+    def test_mirrors_carry_matching(self):
+        lib = default_library()
+        for name in ("CM-N(2)", "CM-P(2)", "CM-P(5)"):
+            kinds = {c.kind for c in lib.get(name).constraints}
+            assert ConstraintKind.MATCHING in kinds
+
+    def test_big_mirrors_carry_common_centroid(self):
+        lib = default_library()
+        kinds = {c.kind for c in lib.get("CM-P(5)").constraints}
+        assert ConstraintKind.COMMON_CENTROID in kinds
+
+    def test_by_size_desc_ordering(self):
+        sizes = [t.n_elements for t in default_library().by_size_desc()]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_largest_is_cm_p5(self):
+        assert default_library().by_size_desc()[0].name == "CM-P(5)"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_library().get("NOPE")
+
+
+class TestTemplateValidation:
+    def test_requires_single_subckt(self):
+        with pytest.raises(MatchError):
+            PrimitiveTemplate(name="bad", spice="r1 a b 1k\n.end\n")
+
+    def test_requires_flat_body(self):
+        deck = """
+.subckt outer a
+x1 a inner
+.ends
+.subckt inner b
+r1 b gnd! 1k
+.ends
+"""
+        with pytest.raises(MatchError):
+            PrimitiveTemplate(name="bad", spice=deck)
+
+    def test_unknown_predicate_rejected(self):
+        deck = ".subckt s a b\nr1 a b 1k\n.ends\n"
+        with pytest.raises(MatchError):
+            PrimitiveTemplate(name="bad", spice=deck, port_roles=(("a", "weird"),))
+
+    def test_predicate_on_unknown_port_rejected(self):
+        deck = ".subckt s a b\nr1 a b 1k\n.ends\n"
+        with pytest.raises(MatchError):
+            PrimitiveTemplate(name="bad", spice=deck, port_roles=(("z", "power"),))
+
+    def test_port_net_ok(self):
+        deck = ".subckt s a b\nr1 a b 1k\n.ends\n"
+        template = PrimitiveTemplate(
+            name="t", spice=deck, port_roles=(("a", "power"),)
+        )
+        assert template.port_net_ok("a", "vdd!")
+        assert not template.port_net_ok("a", "sig")
+        assert template.port_net_ok("b", "sig")  # unconstrained port
+
+
+class TestUserExtension:
+    def test_add_spice(self):
+        lib = PrimitiveLibrary()
+        template = lib.add_spice(
+            "MY-DIV", ".subckt d t o b\nr1 t o 1k\nr2 o b 2k\n.ends\n"
+        )
+        assert template.n_elements == 2
+        assert lib.get("MY-DIV") is template
+
+    def test_duplicate_name_rejected(self):
+        lib = PrimitiveLibrary()
+        lib.add_spice("X", ".subckt x a b\nr1 a b 1k\n.ends\n")
+        with pytest.raises(MatchError):
+            lib.add_spice("X", ".subckt x a b\nc1 a b 1p\n.ends\n")
+
+    def test_iteration(self):
+        lib = default_library()
+        assert len(list(lib)) == 21

@@ -1,0 +1,137 @@
+"""SubGemini signature prefilter: soundness and pruning power."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import CircuitGraph
+from repro.primitives.isomorphism import PatternGraph, VF2Matcher
+from repro.primitives.library import default_library
+from repro.primitives.signatures import (
+    build_filter,
+    signature_covers,
+    vertex_signatures,
+)
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+from tests.conftest import CURRENT_MIRROR_DECK, DIFF_OTA_DECK
+
+
+def _graph(deck: str) -> CircuitGraph:
+    return CircuitGraph.from_circuit(flatten(parse_netlist(deck)))
+
+
+def _pattern(deck: str, ports: tuple[str, ...]) -> PatternGraph:
+    flat = flatten(parse_netlist(deck))
+    flat.ports = ports
+    return PatternGraph.from_graph(CircuitGraph.from_circuit(flat))
+
+
+class TestSignatures:
+    def test_signature_counts_incident_edges(self):
+        graph = _graph(CURRENT_MIRROR_DECK)
+        sigs = vertex_signatures(graph)
+        m0 = graph.element_vertex("m0")
+        # Diode: one combined 101 edge + one source edge.
+        assert sum(sigs[m0].values()) == 2
+
+    def test_covers_exact(self):
+        from collections import Counter
+
+        a = Counter({(4, "net"): 1})
+        assert signature_covers(a, Counter(a), exact=True)
+        assert not signature_covers(a, a + Counter({(2, "net"): 1}), exact=True)
+
+    def test_covers_subset(self):
+        from collections import Counter
+
+        small = Counter({(4, "net"): 1})
+        big = Counter({(4, "net"): 2, (1, "net"): 1})
+        assert signature_covers(small, big, exact=False)
+        assert not signature_covers(big, small, exact=False)
+
+
+class TestFilterSoundness:
+    def test_mirror_match_survives(self):
+        pattern = _pattern(CURRENT_MIRROR_DECK, ("d1", "d2", "s"))
+        target = _graph(DIFF_OTA_DECK)
+        with_filter = VF2Matcher(pattern, target, use_prefilter=True).find_all()
+        without = VF2Matcher(pattern, target, use_prefilter=False).find_all()
+        assert sorted(m.mapping for m in with_filter) == sorted(
+            m.mapping for m in without
+        )
+
+    def test_infeasible_detected_without_search(self):
+        pattern = _pattern(
+            "l1 a b 1n\nc1 a b 1p\n.end\n", ports=("a", "b")
+        )  # LC tank
+        target = _graph(CURRENT_MIRROR_DECK)  # no inductors at all
+        matcher = VF2Matcher(pattern, target, use_prefilter=True)
+        assert not matcher.prefilter.is_feasible
+        assert matcher.find_all() == []
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_filtered_matches_equal_unfiltered_random(self, seed):
+        """Property: the prefilter never changes the match set."""
+        rng = np.random.default_rng(seed)
+        nets = [f"n{i}" for i in range(6)]
+        lines = []
+        for i in range(int(rng.integers(2, 7))):
+            d, g, s = rng.choice(nets, size=3)
+            model = rng.choice(["nmos", "pmos"])
+            if d == s:
+                continue
+            lines.append(f"m{i} {d} {g} {s} gnd! {model}")
+        for i in range(int(rng.integers(0, 3))):
+            a, b = rng.choice(nets, size=2, replace=False)
+            lines.append(f"r{i} {a} {b} 1k")
+        deck = "\n".join(lines) + "\n.end\n"
+        target = _graph(deck)
+        for template in (
+            _pattern(CURRENT_MIRROR_DECK, ("d1", "d2", "s")),
+            _pattern("m1 d g s gnd! nmos\n.end\n", ("d", "g", "s")),
+            _pattern("r1 a x 1k\nc1 x b 1p\n.end\n", ("a", "b")),
+        ):
+            with_filter = VF2Matcher(template, target, True).find_all()
+            without = VF2Matcher(template, target, False).find_all()
+            assert sorted(m.mapping for m in with_filter) == sorted(
+                m.mapping for m in without
+            )
+
+    def test_whole_library_identical_results(self):
+        """Every library template finds the same matches either way on
+        a realistic circuit."""
+        from repro.datasets.ota import OtaSpec, generate_ota
+
+        lc = generate_ota(OtaSpec(topology="telescopic"))
+        target = CircuitGraph.from_circuit(lc.circuit)
+        for template in default_library():
+            with_filter = VF2Matcher(template.pattern, target, True).find_all()
+            without = VF2Matcher(template.pattern, target, False).find_all()
+            assert sorted(m.mapping for m in with_filter) == sorted(
+                m.mapping for m in without
+            ), template.name
+
+
+class TestFilterPruning:
+    def test_allowed_sets_respect_kind(self):
+        pattern = _pattern(CURRENT_MIRROR_DECK, ("d1", "d2", "s"))
+        target = _graph(DIFF_OTA_DECK)
+        compat = build_filter(pattern, target)
+        n_el_p = pattern.graph.n_elements
+        for pv in range(pattern.graph.n_vertices):
+            for tv in compat.allowed[pv]:
+                assert (pv < n_el_p) == (tv < target.n_elements)
+
+    def test_prunes_more_than_kind_alone(self):
+        # The diode pattern vertex must not be allowed on plain devices.
+        pattern = _pattern(CURRENT_MIRROR_DECK, ("d1", "d2", "s"))
+        target = _graph(DIFF_OTA_DECK)
+        compat = build_filter(pattern, target)
+        m0 = pattern.graph.element_index["m0"]  # the diode device
+        allowed_names = {
+            target.elements[tv].name for tv in compat.allowed[m0]
+        }
+        assert allowed_names == {"m0"}  # only the OTA's diode qualifies

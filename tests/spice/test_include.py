@@ -1,0 +1,67 @@
+"""``.include`` resolution (opt-in via include_dir)."""
+
+import pytest
+
+from repro.exceptions import SpiceSyntaxError
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+
+
+class TestInclude:
+    def test_include_resolves_relative(self, tmp_path):
+        (tmp_path / "cells.sp").write_text(
+            ".subckt inv in out\n"
+            "mn out in gnd! gnd! nmos\n"
+            "mp out in vdd! vdd! pmos\n"
+            ".ends\n"
+        )
+        deck = '.include cells.sp\nx1 a b inv\n.end\n'
+        netlist = parse_netlist(deck, include_dir=str(tmp_path))
+        assert "inv" in netlist.subckts
+        flat = flatten(netlist)
+        assert len(flat.devices) == 2
+
+    def test_quoted_path(self, tmp_path):
+        (tmp_path / "r.sp").write_text("r1 a b 1k\n")
+        netlist = parse_netlist(
+            '.include "r.sp"\n.end\n', include_dir=str(tmp_path)
+        )
+        assert len(netlist.top.devices) == 1
+
+    def test_nested_includes(self, tmp_path):
+        sub = tmp_path / "lib"
+        sub.mkdir()
+        (sub / "inner.sp").write_text("c1 x y 1p\n")
+        (sub / "outer.sp").write_text(".include inner.sp\nr1 a b 1k\n")
+        netlist = parse_netlist(
+            ".include lib/outer.sp\n.end\n", include_dir=str(tmp_path)
+        )
+        names = {d.name for d in netlist.top.devices}
+        assert names == {"c1", "r1"}
+
+    def test_missing_file_fails(self, tmp_path):
+        with pytest.raises(SpiceSyntaxError, match="not found"):
+            parse_netlist(".include nope.sp\n.end\n", include_dir=str(tmp_path))
+
+    def test_include_cycle_detected(self, tmp_path):
+        (tmp_path / "a.sp").write_text(".include b.sp\n")
+        (tmp_path / "b.sp").write_text(".include a.sp\n")
+        with pytest.raises(SpiceSyntaxError, match="deep"):
+            parse_netlist(".include a.sp\n.end\n", include_dir=str(tmp_path))
+
+    def test_include_without_path_fails(self, tmp_path):
+        with pytest.raises(SpiceSyntaxError):
+            parse_netlist(".include\n.end\n", include_dir=str(tmp_path))
+
+    def test_includes_skipped_without_dir(self):
+        # Safe default: include cards are ignored like analysis cards.
+        netlist = parse_netlist(".include secrets.sp\nr1 a b 1k\n.end\n")
+        assert len(netlist.top.devices) == 1
+
+    def test_model_in_included_file_visible(self, tmp_path):
+        (tmp_path / "models.sp").write_text(".model mydev pmos\n")
+        deck = ".include models.sp\nm1 d g s b mydev\n.end\n"
+        netlist = parse_netlist(deck, include_dir=str(tmp_path))
+        from repro.spice.netlist import DeviceKind
+
+        assert netlist.top.devices[0].kind is DeviceKind.PMOS

@@ -1,0 +1,61 @@
+"""Tokenizer behaviour: comments, continuations, parameter gluing."""
+
+import pytest
+
+from repro.exceptions import SpiceSyntaxError
+from repro.spice.lexer import lex
+
+
+class TestComments:
+    def test_full_line_comment_dropped(self):
+        lines = lex("* a comment\nr1 a b 1k\n")
+        assert len(lines) == 1
+        assert lines[0].card == "r1"
+
+    def test_dollar_trailing_comment(self):
+        (line,) = lex("r1 a b 1k $ load resistor\n")
+        assert line.tokens == ("r1", "a", "b", "1k")
+
+    def test_semicolon_trailing_comment(self):
+        (line,) = lex("r1 a b 1k ; load\n")
+        assert line.tokens == ("r1", "a", "b", "1k")
+
+    def test_blank_lines_skipped(self):
+        lines = lex("\n\nr1 a b 1k\n\n")
+        assert len(lines) == 1
+
+
+class TestContinuations:
+    def test_plus_joins_lines(self):
+        (line,) = lex("m1 d g s b nmos\n+ w=1u l=100n\n")
+        assert line.tokens == ("m1", "d", "g", "s", "b", "nmos", "w=1u", "l=100n")
+
+    def test_multiple_continuations(self):
+        (line,) = lex("x1 a b c\n+ d e\n+ f sub\n")
+        assert line.tokens == ("x1", "a", "b", "c", "d", "e", "f", "sub")
+
+    def test_continuation_without_previous_line_fails(self):
+        with pytest.raises(SpiceSyntaxError):
+            lex("+ w=1u\n")
+
+    def test_line_numbers_point_at_first_physical_line(self):
+        lines = lex("* title\nr1 a b 1k\nm1 d g s b nmos\n+ w=1u\n")
+        assert [l.number for l in lines] == [2, 3]
+
+
+class TestTokenization:
+    def test_lower_cases_everything(self):
+        (line,) = lex("R1 NodeA NodeB 1K\n")
+        assert line.tokens == ("r1", "nodea", "nodeb", "1k")
+
+    def test_spaces_around_equals_glued(self):
+        (line,) = lex("m1 d g s b nmos w = 1u\n")
+        assert "w=1u" in line.tokens
+
+    def test_equals_without_key_fails(self):
+        with pytest.raises(SpiceSyntaxError):
+            lex("= 1u\n")
+
+    def test_card_property(self):
+        (line,) = lex(".subckt foo a b\n")
+        assert line.card == ".subckt"

@@ -1,0 +1,161 @@
+"""Recognition preprocessing: merges, dummies, decaps (Sec. II-B)."""
+
+import pytest
+
+from repro.spice.flatten import flatten
+from repro.spice.netlist import DeviceKind
+from repro.spice.parser import parse_netlist
+from repro.spice.preprocess import preprocess
+
+
+def _prep(deck: str):
+    flat = flatten(parse_netlist(deck))
+    return preprocess(flat)
+
+
+class TestParallelMos:
+    DECK = """
+m1 d g s gnd! nmos w=1u l=100n m=2
+m2 d g s gnd! nmos w=1u l=100n m=3
+m3 d2 g s gnd! nmos w=1u l=100n
+.end
+"""
+
+    def test_merged_to_one(self):
+        reduced, _report = _prep(self.DECK)
+        names = {d.name for d in reduced.devices}
+        assert names == {"m1", "m3"}
+
+    def test_multiplier_summed(self):
+        reduced, _report = _prep(self.DECK)
+        assert reduced.device("m1").param("m") == pytest.approx(5.0)
+
+    def test_report_maps_back(self):
+        _reduced, report = _prep(self.DECK)
+        assert sorted(report.originals_of("m1")) == ["m1", "m2"]
+        assert report.originals_of("m3") == ["m3"]
+
+    def test_different_model_not_merged(self):
+        deck = """
+m1 d g s gnd! nmos
+m2 d g s vdd! pmos
+.end
+"""
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 2
+
+
+class TestSeriesMos:
+    DECK = """
+m1 out g mid gnd! nmos w=1u l=200n
+m2 mid g gnd! gnd! nmos w=1u l=200n
+.end
+"""
+
+    def test_stack_collapsed(self):
+        reduced, _ = _prep(self.DECK)
+        assert len(reduced.devices) == 1
+
+    def test_length_summed(self):
+        reduced, _ = _prep(self.DECK)
+        assert reduced.devices[0].param("l") == pytest.approx(400e-9)
+
+    def test_endpoints_preserved(self):
+        reduced, _ = _prep(self.DECK)
+        nets = set(reduced.devices[0].nets)
+        assert "out" in nets and "gnd!" in nets and "mid" not in nets
+
+    def test_different_gate_not_collapsed(self):
+        deck = """
+m1 out g1 mid gnd! nmos l=200n
+m2 mid g2 gnd! gnd! nmos l=200n
+.end
+"""
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 2
+
+    def test_tapped_middle_net_not_collapsed(self):
+        # A third device touching the mid net makes it a real node.
+        deck = """
+m1 out g mid gnd! nmos l=200n
+m2 mid g gnd! gnd! nmos l=200n
+r1 mid probe 1k
+.end
+"""
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 3
+
+
+class TestDummies:
+    def test_drain_source_shorted_removed(self):
+        deck = "m1 a g a gnd! nmos\nr1 a b 1k\n.end\n"
+        reduced, report = _prep(deck)
+        assert [d.name for d in reduced.devices] == ["r1"]
+        assert report.removed == [("m1", "dummy transistor")]
+
+    def test_off_gate_at_rail_removed(self):
+        deck = "m1 a gnd! gnd! gnd! nmos\nr1 a b 1k\n.end\n"
+        reduced, _ = _prep(deck)
+        assert [d.name for d in reduced.devices] == ["r1"]
+
+    def test_pmos_off_gate_at_vdd_removed(self):
+        deck = "m1 a vdd! vdd! vdd! pmos\nr1 a b 1k\n.end\n"
+        reduced, _ = _prep(deck)
+        assert [d.name for d in reduced.devices] == ["r1"]
+
+    def test_active_transistor_kept(self):
+        deck = "m1 out in gnd! gnd! nmos\n.end\n"
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 1
+
+
+class TestDecaps:
+    def test_rail_to_rail_cap_removed(self):
+        deck = "c1 vdd! gnd! 10p\nc2 out gnd! 1p\nm1 out in gnd! gnd! nmos\n.end\n"
+        reduced, report = _prep(deck)
+        names = {d.name for d in reduced.devices}
+        assert "c1" not in names
+        assert "c2" in names
+        assert ("c1", "decoupling capacitor") in report.removed
+
+    def test_signal_cap_kept(self):
+        deck = "c1 a b 1p\n.end\n"
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 1
+
+
+class TestParallelPassives:
+    def test_parallel_caps_sum(self):
+        deck = "c1 a b 1p\nc2 a b 2p\n.end\n"
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 1
+        assert reduced.devices[0].value == pytest.approx(3e-12)
+
+    def test_parallel_resistors_combine(self):
+        deck = "r1 a b 2k\nr2 a b 2k\n.end\n"
+        reduced, _ = _prep(deck)
+        assert reduced.devices[0].value == pytest.approx(1e3)
+
+    def test_reversed_pins_still_parallel(self):
+        deck = "c1 a b 1p\nc2 b a 2p\n.end\n"
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 1
+
+    def test_different_nets_not_merged(self):
+        deck = "c1 a b 1p\nc2 a c 2p\n.end\n"
+        reduced, _ = _prep(deck)
+        assert len(reduced.devices) == 2
+
+
+class TestReport:
+    def test_every_survivor_in_absorbed(self):
+        deck = "r1 a b 1k\nc1 a b 1p\n.end\n"
+        reduced, report = _prep(deck)
+        for dev in reduced.devices:
+            assert dev.name in report.absorbed
+
+    def test_input_not_mutated(self):
+        flat = flatten(parse_netlist("c1 a b 1p\nc2 a b 2p\n.end\n"))
+        n_before = len(flat.devices)
+        preprocess(flat)
+        assert len(flat.devices) == n_before

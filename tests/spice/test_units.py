@@ -1,0 +1,121 @@
+"""SPICE numeric-literal parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SpiceSyntaxError
+from repro.spice.units import (
+    format_spice_number,
+    is_spice_number,
+    parse_spice_number,
+)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("1", 1.0),
+            ("0", 0.0),
+            ("-3.5", -3.5),
+            ("+2", 2.0),
+            (".5", 0.5),
+            ("1e3", 1e3),
+            ("1E-6", 1e-6),
+            ("2.5e+2", 250.0),
+        ],
+    )
+    def test_plain_numbers(self, text, expected):
+        assert parse_spice_number(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("1f", 1e-15),
+            ("1p", 1e-12),
+            ("1n", 1e-9),
+            ("1u", 1e-6),
+            ("1m", 1e-3),
+            ("1k", 1e3),
+            ("1meg", 1e6),
+            ("1g", 1e9),
+            ("1t", 1e12),
+            ("1a", 1e-18),
+        ],
+    )
+    def test_engineering_suffixes(self, text, expected):
+        assert parse_spice_number(text) == pytest.approx(expected)
+
+    def test_milli_vs_mega(self):
+        # The classic SPICE trap: m is milli, meg is mega.
+        assert parse_spice_number("1m") == pytest.approx(1e-3)
+        assert parse_spice_number("1meg") == pytest.approx(1e6)
+
+    def test_mil_suffix(self):
+        assert parse_spice_number("1mil") == pytest.approx(25.4e-6)
+
+    def test_suffixes_case_insensitive(self):
+        assert parse_spice_number("10MEG") == pytest.approx(1e7)
+        assert parse_spice_number("2.2U") == pytest.approx(2.2e-6)
+
+    def test_trailing_unit_ignored(self):
+        assert parse_spice_number("10uF") == pytest.approx(10e-6)
+        assert parse_spice_number("1.5kOhm") == pytest.approx(1500.0)
+        assert parse_spice_number("5V") == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("text", ["", "abc", "1..2", "--3", "u1"])
+    def test_rejects_non_numbers(self, text):
+        with pytest.raises(SpiceSyntaxError):
+            parse_spice_number(text)
+
+    def test_dangling_exponent_is_unit_tag(self):
+        # SPICE ignores unknown trailing letters: "1e" is 1.0 with a
+        # (meaningless) unit tag, matching simulator behaviour.
+        assert parse_spice_number("1e") == pytest.approx(1.0)
+
+    def test_is_spice_number(self):
+        assert is_spice_number("2.2u")
+        assert not is_spice_number("nmos")
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (0.0, "0"),
+            (1500.0, "1.5k"),
+            (2.2e-6, "2.2u"),
+            (1e7, "10meg"),
+            (-3e-9, "-3n"),
+        ],
+    )
+    def test_known_values(self, value, expected):
+        assert format_spice_number(value) == expected
+
+    @given(
+        st.floats(
+            min_value=1e-17,
+            max_value=1e13,
+            allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    def test_roundtrip_positive(self, value):
+        text = format_spice_number(value)
+        back = parse_spice_number(text)
+        assert math.isclose(back, value, rel_tol=1e-5)
+
+    @given(
+        st.floats(
+            min_value=1e-15,
+            max_value=1e12,
+            allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    def test_roundtrip_negative(self, value):
+        text = format_spice_number(-value)
+        assert math.isclose(parse_spice_number(text), -value, rel_tol=1e-5)

@@ -1,0 +1,109 @@
+"""Writer round-trips and formatting, including hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.flatten import flatten
+from repro.spice.netlist import (
+    Circuit,
+    DeviceKind,
+    Netlist,
+    make_mos,
+    make_passive,
+)
+from repro.spice.parser import parse_netlist
+from repro.spice.writer import write_circuit, write_netlist
+from tests.conftest import DIFF_OTA_DECK, HIERARCHICAL_DECK
+
+
+def _roundtrip(netlist: Netlist) -> Netlist:
+    return parse_netlist(write_netlist(netlist))
+
+
+class TestRoundTrip:
+    def test_flat_deck(self):
+        original = parse_netlist(DIFF_OTA_DECK)
+        back = _roundtrip(original)
+        assert len(back.top.devices) == len(original.top.devices)
+        for a, b in zip(original.top.devices, back.top.devices):
+            assert a.kind is b.kind
+            assert a.nets == b.nets
+
+    def test_hierarchical_deck(self):
+        original = parse_netlist(HIERARCHICAL_DECK)
+        back = _roundtrip(original)
+        assert set(back.subckts) == set(original.subckts)
+        flat_a = flatten(original)
+        flat_b = flatten(back)
+        assert len(flat_a.devices) == len(flat_b.devices)
+
+    def test_flattened_names_are_legal_cards(self):
+        flat = flatten(parse_netlist(HIERARCHICAL_DECK))
+        text = write_circuit(flat)
+        back = parse_netlist(text)
+        assert len(back.top.devices) == len(flat.devices)
+
+    def test_globals_written(self):
+        netlist = parse_netlist(".global vdd! gnd!\nr1 a vdd! 1k\n.end\n")
+        assert ".global vdd! gnd!" in write_netlist(netlist)
+
+    def test_value_formatting(self):
+        c = Circuit(name="t")
+        c.add(make_passive("r1", DeviceKind.RESISTOR, "a", "b", 4700.0))
+        text = write_circuit(c)
+        assert "4.7k" in text
+
+
+# Random circuit strategy: a handful of devices over a small net pool.
+_nets = st.sampled_from(["n1", "n2", "n3", "vdd!", "gnd!", "in", "out"])
+
+
+@st.composite
+def _random_circuit(draw):
+    circuit = Circuit(name="rand")
+    n_mos = draw(st.integers(min_value=0, max_value=5))
+    n_passive = draw(st.integers(min_value=0, max_value=5))
+    if n_mos + n_passive == 0:
+        n_mos = 1
+    for i in range(n_mos):
+        kind = draw(st.sampled_from([DeviceKind.NMOS, DeviceKind.PMOS]))
+        circuit.add(
+            make_mos(
+                f"m{i}",
+                kind,
+                draw(_nets),
+                draw(_nets),
+                draw(_nets),
+                w=draw(st.sampled_from([1e-6, 2e-6, 8e-6])),
+            )
+        )
+    for i in range(n_passive):
+        kind = draw(
+            st.sampled_from(
+                [DeviceKind.RESISTOR, DeviceKind.CAPACITOR, DeviceKind.INDUCTOR]
+            )
+        )
+        circuit.add(
+            make_passive(
+                f"{kind.value[0]}{i}",
+                kind,
+                draw(_nets),
+                draw(_nets),
+                draw(st.sampled_from([1e3, 1e-12, 2e-9])),
+            )
+        )
+    return circuit
+
+
+class TestHypothesisRoundTrip:
+    @given(_random_circuit())
+    @settings(max_examples=50, deadline=None)
+    def test_write_parse_preserves_structure(self, circuit):
+        back = parse_netlist(write_circuit(circuit)).top
+        assert len(back.devices) == len(circuit.devices)
+        for a, b in zip(circuit.devices, back.devices):
+            assert a.kind is b.kind
+            assert a.nets == b.nets
+            if a.value is not None:
+                assert b.value == pytest.approx(a.value, rel=1e-4)

@@ -1,0 +1,71 @@
+"""Utilities and package-level plumbing."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.core
+from repro.utils.rng import seeded_rng, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_differs_by_part(self):
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+    def test_order_matters(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_nonnegative_63_bit(self):
+        value = stable_hash("anything")
+        assert 0 <= value < 2**63
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc") — the separator byte.
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+
+class TestSeededRng:
+    def test_int_seed(self):
+        a = seeded_rng(7).random(3)
+        b = seeded_rng(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_string_seed(self):
+        a = seeded_rng("hello").random(3)
+        b = seeded_rng("hello").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_tuple_seed(self):
+        a = seeded_rng(("task", 3)).random()
+        b = seeded_rng(("task", 3)).random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert seeded_rng("x").random() != seeded_rng("y").random()
+
+
+class TestPackagePlumbing:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_top_level_import(self):
+        assert repro.GanaPipeline is not None
+
+    def test_top_level_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_thing
+
+    def test_core_lazy_exports(self):
+        assert repro.core.GanaPipeline is not None
+        assert repro.core.validate_constraints is not None
+
+    def test_core_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.core.no_such_thing
+
+    def test_core_dir_lists_exports(self):
+        assert "GanaPipeline" in dir(repro.core)
+        assert "annotate_systems" in dir(repro.core)
