@@ -3,9 +3,10 @@
 * **Scale** — ``REPRO_SCALE=paper`` (default) reproduces the paper's
   dataset sizes and training budget; ``REPRO_SCALE=quick`` shrinks
   everything for smoke runs.
-* **Model cache** — trained recognition models are cached under
-  ``.cache/`` keyed by task + scale, so the first benchmark run pays
-  for training once and later runs (and other benchmarks) reuse it.
+* **Model cache** — trained recognition models go through the runtime
+  model cache (:mod:`repro.runtime.cache`; ``~/.cache/gana`` or
+  ``GANA_CACHE_DIR``), so the first benchmark run pays for training
+  once and later runs (and other benchmarks, and the CLI) reuse it.
 * **Results** — every benchmark writes its reproduced table/figure to
   ``benchmarks/results/<name>.txt`` and prints it, so the numbers
   survive pytest's output capture.
@@ -18,11 +19,9 @@ from pathlib import Path
 
 from repro.core.annotator import GcnAnnotator
 from repro.core.pipeline import GanaPipeline
-from repro.datasets.synth import pretrain_annotator, task_classes
-from repro.gcn.model import GCNConfig, GCNModel
+from repro.datasets.synth import pretrain_annotator
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-CACHE_DIR = REPO_ROOT / ".cache"
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 SCALE = os.environ.get("REPRO_SCALE", "paper")
@@ -36,25 +35,9 @@ RF_TEST = 105 if PAPER else 16
 EPOCHS = 60 if PAPER else 12
 
 
-def _paths(task: str) -> Path:
-    CACHE_DIR.mkdir(exist_ok=True)
-    return CACHE_DIR / f"{task}_{'paper' if PAPER else 'quick'}.npz"
-
-
 def load_annotator(task: str) -> GcnAnnotator:
-    """Train (or load cached) the recognition model for a task."""
-    classes = task_classes(task)
-    path = _paths(task)
-    if path.exists():
-        try:
-            model = GCNModel.load(str(path))
-        except Exception:
-            # Legacy cache without an embedded config.
-            model = GCNModel.load(str(path), GCNConfig(n_classes=len(classes)))
-        return GcnAnnotator(model=model, class_names=classes)
-    annotator = pretrain_annotator(task, quick=not PAPER)
-    annotator.model.save(str(path))
-    return annotator
+    """Train (or load from the runtime cache) the task's model."""
+    return pretrain_annotator(task, quick=not PAPER)
 
 
 def load_pipeline(task: str) -> GanaPipeline:

@@ -27,7 +27,12 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     from repro.datasets.synth import pretrain_annotator, task_classes
     from repro.gcn.model import GCNModel
 
-    text = Path(args.netlist).read_text()
+    paths = [Path(p) for p in args.netlist]
+    missing = [p for p in paths if not p.is_file()]
+    if missing:
+        for p in missing:
+            print(f"error: no such netlist: {p}", file=sys.stderr)
+        return 2
     if args.model:
         classes = task_classes(args.task)
         model = GCNModel.load(args.model)
@@ -40,15 +45,25 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             return 2
         annotator = GcnAnnotator(model=model, class_names=classes)
     else:
-        print("no --model given; training a quick model ...", file=sys.stderr)
-        annotator = pretrain_annotator(args.task, quick=True)
+        cache = False if args.no_cache else None
+        print(
+            "no --model given; training a quick model "
+            "(cached across runs unless --no-cache) ...",
+            file=sys.stderr,
+        )
+        annotator = pretrain_annotator(args.task, quick=True, cache=cache)
     pipeline = GanaPipeline(annotator=annotator)
 
     port_labels = {}
     for spec in args.port or []:
         net, _, label = spec.partition("=")
         port_labels[net] = label
-    result = pipeline.run(text, port_labels=port_labels, name=Path(args.netlist).stem)
+
+    if len(paths) > 1:
+        return _annotate_batch(args, pipeline, paths, port_labels)
+    result = pipeline.run(
+        paths[0].read_text(), port_labels=port_labels, name=paths[0].stem
+    )
 
     if args.export_dir:
         from repro.core.export import (
@@ -94,12 +109,64 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _annotate_batch(
+    args: argparse.Namespace, pipeline, paths: list[Path], port_labels: dict
+) -> int:
+    """Batch-annotate several decks through ``GanaPipeline.run_many``."""
+    results = pipeline.run_many(
+        [path.read_text() for path in paths],
+        names=[path.stem for path in paths],
+        port_labels=port_labels,
+        workers=args.workers,
+    )
+    if args.json:
+        payload = [
+            {
+                "netlist": str(path),
+                "devices": result.annotation.element_classes,
+                "nets": result.annotation.net_classes,
+                "hierarchy": result.hierarchy.to_dict(),
+                "timings": result.timings,
+            }
+            for path, result in zip(paths, results)
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for path, result in zip(paths, results):
+        print(f"=== {path} ===")
+        for device, cls in sorted(result.annotation.element_classes.items()):
+            print(f"  {device:<16} {cls}")
+        print(result.hierarchy.render())
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.datasets.synth import pretrain_annotator
 
-    annotator = pretrain_annotator(args.task, quick=args.quick, seed=args.seed)
+    annotator = pretrain_annotator(
+        args.task,
+        quick=args.quick,
+        seed=args.seed,
+        cache=False if args.no_cache else None,
+        workers=args.workers,
+    )
     annotator.model.save(args.out)
     print(f"saved {args.task} model ({annotator.model.n_parameters()} params) to {args.out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import ModelCache
+
+    cache = ModelCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached model(s) from {cache.directory}")
+        return 0
+    entries = cache.entries()
+    print(f"cache dir: {cache.directory}  ({len(entries)} model(s))")
+    for path in entries:
+        print(f"  {path.name}  {path.stat().st_size} bytes")
     return 0
 
 
@@ -147,8 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    annotate = sub.add_parser("annotate", help="annotate a SPICE netlist")
-    annotate.add_argument("netlist", help="path to a SPICE deck")
+    annotate = sub.add_parser("annotate", help="annotate SPICE netlist(s)")
+    annotate.add_argument(
+        "netlist",
+        nargs="+",
+        help="path(s) to SPICE deck(s); several decks batch-annotate in parallel",
+    )
     annotate.add_argument("--task", choices=("ota", "rf"), default="ota")
     annotate.add_argument("--model", help="trained model .npz (else quick-train)")
     annotate.add_argument(
@@ -162,6 +233,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-dir",
         help="write ALIGN-style constraints.json, hierarchy.json/dot, graph.dot",
     )
+    annotate.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the trained-model cache (always retrain)",
+    )
+    annotate.add_argument(
+        "--workers",
+        type=int,
+        help="process-pool size for batch annotation (default: GANA_WORKERS or cpu count)",
+    )
     annotate.set_defaults(func=_cmd_annotate)
 
     train = sub.add_parser("train", help="train a recognition model")
@@ -169,7 +250,21 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--out", required=True, help="output .npz path")
     train.add_argument("--quick", action="store_true", help="small/fast training")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the trained-model cache (always retrain)",
+    )
+    train.add_argument(
+        "--workers",
+        type=int,
+        help="process-pool size for dataset generation (default: GANA_WORKERS or cpu count)",
+    )
     train.set_defaults(func=_cmd_train)
+
+    cache = sub.add_parser("cache", help="inspect or clear the trained-model cache")
+    cache.add_argument("--clear", action="store_true", help="delete all entries")
+    cache.set_defaults(func=_cmd_cache)
 
     primitives = sub.add_parser("primitives", help="list the template library")
     primitives.add_argument(

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 
 from repro.core.annotator import Annotation, GcnAnnotator
 from repro.core.constraints import (
-    Constraint,
     ConstraintSet,
     propagate,
     subblock_constraints,
@@ -32,13 +31,11 @@ from repro.core.postprocess import (
     apply_port_rules,
     postprocess_ccc,
 )
-from repro.gcn.model import GCNModel
 from repro.graph.bipartite import CircuitGraph
-from repro.graph.ccc import CCCPartition
 from repro.graph.features import NetRole
 from repro.primitives.library import PrimitiveLibrary, extended_library
 from repro.spice.flatten import flatten
-from repro.spice.netlist import Circuit, Netlist
+from repro.spice.netlist import Circuit, Netlist, is_power_net
 from repro.spice.parser import parse_netlist
 from repro.spice.preprocess import PreprocessReport, preprocess
 
@@ -98,8 +95,6 @@ def build_hierarchy(
     # define an instance.
     ccc_neighbors: dict[int, set[int]] = defaultdict(set)
     for net_local, cids in partition.of_net.items():
-        from repro.spice.netlist import is_power_net
-
         if is_power_net(graph.nets[net_local]) or len(cids) > 2:
             continue
         for a in cids:
@@ -203,9 +198,10 @@ class GanaPipeline:
         task: str = "ota",
         quick: bool = True,
         seed: int = 0,
+        cache: bool | None = None,
         **kwargs,
     ) -> "GanaPipeline":
-        """Train a recognition model on the generated datasets.
+        """Train (or load from cache) a recognition model.
 
         ``task`` is ``"ota"`` (classes: ota/bias) or ``"rf"`` (classes:
         lna/mixer/osc).  ``quick=True`` trains on a reduced dataset for
@@ -214,11 +210,17 @@ class GanaPipeline:
         pass through to
         :func:`repro.datasets.synth.pretrain_annotator`.  No weights
         ship with the package — datasets are generated on the fly, so
-        "pretrained" means "trained now, deterministically".
+        "pretrained" means "trained now, deterministically" — but the
+        runtime model cache (``~/.cache/gana`` / ``GANA_CACHE_DIR``)
+        makes every call after the first a millisecond load; pass
+        ``cache=False`` (or set ``GANA_NO_CACHE=1``) to force
+        retraining.
         """
         from repro.datasets.synth import pretrain_annotator
 
-        annotator = pretrain_annotator(task, quick=quick, seed=seed, **kwargs)
+        annotator = pretrain_annotator(
+            task, quick=quick, seed=seed, cache=cache, **kwargs
+        )
         return cls(annotator=annotator)
 
     def run(
@@ -291,3 +293,73 @@ class GanaPipeline:
             preprocess_report=report,
             timings=timings,
         )
+
+    def run_many(
+        self,
+        netlists: list[str | Netlist | Circuit],
+        names: list[str] | None = None,
+        port_labels: dict[str, str] | list[dict[str, str] | None] | None = None,
+        net_roles: dict[str, NetRole] | list[dict[str, NetRole] | None] | None = None,
+        infer_testbench: bool = True,
+        workers: int | None = None,
+        chunksize: int | None = None,
+    ) -> list[PipelineResult]:
+        """Annotate a fleet of netlists, in parallel where possible.
+
+        Each netlist goes through exactly the same :meth:`run` flow;
+        results come back in input order and are identical to a serial
+        ``[self.run(n) for n in netlists]`` (only wall-clock differs).
+        ``port_labels``/``net_roles`` may be a single mapping applied to
+        every netlist or a per-netlist list; ``names`` is an optional
+        per-netlist system-name list.  ``workers`` follows
+        :func:`repro.runtime.parallel.resolve_workers` (explicit >
+        ``GANA_WORKERS`` > cpu count); one worker, one netlist, or an
+        unusable pool all degrade to the serial loop.
+
+        The trained pipeline ships to each worker once (pool
+        initializer), not once per netlist, so per-item IPC stays
+        proportional to the netlist text + result.
+        """
+        from repro.runtime.parallel import parallel_map, resolve_workers
+
+        def per_item(value, index):
+            if isinstance(value, (list, tuple)):
+                return value[index]
+            return value
+
+        jobs = [
+            {
+                "netlist": netlist,
+                "net_roles": per_item(net_roles, i),
+                "port_labels": per_item(port_labels, i),
+                "name": names[i] if names else "",
+                "infer_testbench": infer_testbench,
+            }
+            for i, netlist in enumerate(netlists)
+        ]
+        if resolve_workers(workers) <= 1 or len(jobs) <= 1:
+            return [self.run(**job) for job in jobs]
+        return parallel_map(
+            _pipeline_worker_run,
+            jobs,
+            workers=workers,
+            chunksize=chunksize,
+            initializer=_pipeline_worker_init,
+            initargs=(self,),
+        )
+
+
+#: Per-process pipeline installed by the ``run_many`` pool initializer,
+#: so the (potentially large) trained model is pickled once per worker
+#: instead of once per netlist.
+_WORKER_PIPELINE: GanaPipeline | None = None
+
+
+def _pipeline_worker_init(pipeline: GanaPipeline) -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = pipeline
+
+
+def _pipeline_worker_run(job: dict) -> PipelineResult:
+    assert _WORKER_PIPELINE is not None, "worker initializer did not run"
+    return _WORKER_PIPELINE.run(**job)

@@ -32,6 +32,8 @@ from repro.gcn.model import GCNConfig, GCNModel
 from repro.gcn.samples import GraphSample, train_validation_split
 from repro.gcn.train import TrainConfig, train
 from repro.graph.bipartite import CircuitGraph
+from repro.runtime.cache import ModelCache, cache_enabled, fingerprint
+from repro.runtime.parallel import parallel_map
 from repro.spice.preprocess import preprocess
 from repro.utils.rng import seeded_rng
 
@@ -42,18 +44,43 @@ OTA_TEST_SIZE = 168
 RF_TEST_SIZE = 105
 
 
+def _generate_ota_item(payload) -> LabeledCircuit:
+    """Top-level worker for :func:`parallel_map` (must be picklable)."""
+    spec, name = payload
+    return generate_ota(spec, name=name)
+
+
 def generate_ota_bias_dataset(
-    n: int = OTA_TRAIN_SIZE, seed: object = "ota-train"
+    n: int = OTA_TRAIN_SIZE,
+    seed: object = "ota-train",
+    workers: int | None = None,
 ) -> list[LabeledCircuit]:
-    """The OTA-bias dataset: OTA variants with signal/bias labels."""
-    return [
-        generate_ota(spec, name=f"ota{seed}_{i}")
+    """The OTA-bias dataset: OTA variants with signal/bias labels.
+
+    Each circuit is seeded independently, so generation parallelizes
+    over :func:`repro.runtime.parallel.parallel_map` without changing
+    the output (``workers=1`` forces the serial path).
+    """
+    jobs = [
+        (spec, f"ota{seed}_{i}")
         for i, spec in enumerate(ota_variants(n, seed=seed))
     ]
+    return parallel_map(_generate_ota_item, jobs, workers=workers)
+
+
+def _generate_rf_item(payload) -> LabeledCircuit:
+    """Top-level worker for :func:`parallel_map` (must be picklable)."""
+    if payload[0] == "single":
+        _tag, kind, topology, seed_idx, name = payload
+        return generate_single_block(kind, topology, seed=seed_idx, name=name)
+    _tag, spec, name = payload
+    return generate_receiver(spec, name=name)
 
 
 def generate_rf_dataset(
-    n: int = RF_TRAIN_SIZE, seed: object = "rf-train"
+    n: int = RF_TRAIN_SIZE,
+    seed: object = "rf-train",
+    workers: int | None = None,
 ) -> list[LabeledCircuit]:
     """The RF dataset: a mix of lone blocks and full receivers.
 
@@ -61,23 +88,23 @@ def generate_rf_dataset(
     labeled single-class graphs), half are receivers combining them —
     matching the paper's "different RF circuits, with labels attached
     to elements that compose LNAs, mixers and oscillators (OSC)".
+    The job list (kinds, specs, names) is drawn serially from the seeded
+    rng, then the actual circuit synthesis fans out over the pool.
     """
     rng = seeded_rng((seed, "mix"))
-    out: list[LabeledCircuit] = []
     n_single = n // 2
     kinds = (
         [("lna", t) for t in LNA_TOPOLOGIES]
         + [("mixer", t) for t in MIXER_TOPOLOGIES]
         + [("osc", t) for t in OSC_TOPOLOGIES]
     )
+    jobs: list[tuple] = []
     for i in range(n_single):
         kind, topology = kinds[int(rng.integers(0, len(kinds)))]
-        out.append(
-            generate_single_block(kind, topology, seed=i, name=f"blk{seed}_{i}")
-        )
+        jobs.append(("single", kind, topology, i, f"blk{seed}_{i}"))
     for i, spec in enumerate(receiver_variants(n - n_single, seed=seed)):
-        out.append(generate_receiver(spec, name=f"rx{seed}_{i}"))
-    return out
+        jobs.append(("receiver", spec, f"rx{seed}_{i}"))
+    return parallel_map(_generate_rf_item, jobs, workers=workers)
 
 
 def generate_ota_test_set(
@@ -127,11 +154,27 @@ def summarize(name: str, dataset: list[LabeledCircuit]) -> DatasetSummary:
     )
 
 
+def _build_one_sample(payload) -> GraphSample:
+    """Top-level worker for :func:`parallel_map` (must be picklable)."""
+    item, class_ids, levels, run_preprocess = payload
+    circuit = item.circuit
+    if run_preprocess:
+        circuit, _report = preprocess(circuit)
+    graph = CircuitGraph.from_circuit(circuit)
+    labels = dict(item.device_labels)
+    labels.update(derive_net_labels(graph, item.device_labels))
+    int_labels = {
+        name: class_ids[cls] for name, cls in labels.items() if cls in class_ids
+    }
+    return GraphSample.from_graph(graph, int_labels, levels=levels, seed=item.name)
+
+
 def build_samples(
     dataset: list[LabeledCircuit],
     class_names: tuple[str, ...],
     levels: int = 2,
     run_preprocess: bool = False,
+    workers: int | None = None,
 ) -> list[GraphSample]:
     """Labeled circuits → GCN samples.
 
@@ -139,27 +182,12 @@ def build_samples(
     :func:`~repro.datasets.components.derive_net_labels`); everything
     else is masked.  Classes outside ``class_names`` (e.g. "bpf" in a
     system testcase) are masked too — the GCN never trains on them.
+    Sample construction (feature extraction + coarsening pyramids) is
+    per-circuit independent, so it fans out over the process pool.
     """
     class_ids = {name: i for i, name in enumerate(class_names)}
-    samples: list[GraphSample] = []
-    for item in dataset:
-        circuit = item.circuit
-        if run_preprocess:
-            circuit, _report = preprocess(circuit)
-        graph = CircuitGraph.from_circuit(circuit)
-        labels = dict(item.device_labels)
-        labels.update(derive_net_labels(graph, item.device_labels))
-        int_labels = {
-            name: class_ids[cls]
-            for name, cls in labels.items()
-            if cls in class_ids
-        }
-        samples.append(
-            GraphSample.from_graph(
-                graph, int_labels, levels=levels, seed=item.name
-            )
-        )
-    return samples
+    jobs = [(item, class_ids, levels, run_preprocess) for item in dataset]
+    return parallel_map(_build_one_sample, jobs, workers=workers)
 
 
 def task_classes(task: str) -> tuple[str, ...]:
@@ -170,6 +198,31 @@ def task_classes(task: str) -> tuple[str, ...]:
     raise DatasetError(f"unknown task {task!r} (expected 'ota' or 'rf')")
 
 
+def training_fingerprint(
+    task: str,
+    train_size: int,
+    seed: int,
+    model_config: GCNConfig,
+    train_config: TrainConfig,
+) -> str:
+    """Cache key for a fully resolved training spec.
+
+    The trained weights are a pure function of these inputs (the
+    datasets are generated from seeds), so the fingerprint is a safe
+    content address for the resulting model.
+    """
+    return fingerprint(
+        {
+            "task": task,
+            "classes": list(task_classes(task)),
+            "train_size": train_size,
+            "seed": seed,
+            "model_config": model_config,
+            "train_config": train_config,
+        }
+    )
+
+
 def pretrain_annotator(
     task: str = "ota",
     quick: bool = True,
@@ -177,22 +230,26 @@ def pretrain_annotator(
     model_config: GCNConfig | None = None,
     train_config: TrainConfig | None = None,
     train_size: int | None = None,
+    cache: bool | None = None,
+    workers: int | None = None,
 ) -> GcnAnnotator:
     """Generate data, train the Fig. 4 GCN, and wrap it as an annotator.
 
     ``quick`` trades dataset size and epochs for runtime (interactive /
     test use); ``quick=False`` runs at paper scale.  Everything is
-    seeded, so the "pretrained" model is reproducible bit-for-bit.
+    seeded, so the "pretrained" model is reproducible bit-for-bit —
+    which also makes it cacheable: with ``cache`` on (the default
+    unless ``GANA_NO_CACHE`` is set), the trained model is stored under
+    the runtime model cache keyed by
+    :func:`training_fingerprint`, and later calls with the same spec
+    load it in milliseconds instead of retraining.  ``workers``
+    controls dataset-generation parallelism (``GANA_WORKERS`` /
+    cpu count by default).
     """
     classes = task_classes(task)
     if train_size is None:
         full = OTA_TRAIN_SIZE if task == "ota" else RF_TRAIN_SIZE
         train_size = 72 if quick else full
-    dataset = (
-        generate_ota_bias_dataset(train_size, seed=(seed, "ota-train"))
-        if task == "ota"
-        else generate_rf_dataset(train_size, seed=(seed, "rf-train"))
-    )
     model_config = model_config or GCNConfig(
         n_classes=len(classes),
         filter_size=8 if quick else 32,
@@ -206,10 +263,35 @@ def pretrain_annotator(
         patience=5 if quick else 10,
         seed=seed,
     )
-    samples = build_samples(dataset, classes, levels=model_config.levels_needed or 2)
+    use_cache = cache_enabled() if cache is None else cache
+    key = training_fingerprint(task, train_size, seed, model_config, train_config)
+    model_cache = ModelCache()
+    if use_cache:
+        cached = model_cache.load(key)
+        if cached is not None:
+            return cached
+
+    dataset = (
+        generate_ota_bias_dataset(
+            train_size, seed=(seed, "ota-train"), workers=workers
+        )
+        if task == "ota"
+        else generate_rf_dataset(
+            train_size, seed=(seed, "rf-train"), workers=workers
+        )
+    )
+    samples = build_samples(
+        dataset,
+        classes,
+        levels=model_config.levels_needed or 2,
+        workers=workers,
+    )
     train_samples, val_samples = train_validation_split(
         samples, validation_fraction=0.2, seed=seed
     )
     model = GCNModel(model_config)
     train(model, train_samples, val_samples, train_config)
-    return GcnAnnotator(model=model, class_names=classes)
+    annotator = GcnAnnotator(model=model, class_names=classes)
+    if use_cache:
+        model_cache.store(key, annotator)
+    return annotator

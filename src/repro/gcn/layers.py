@@ -34,11 +34,20 @@ class SampleContext:
     (level 0 = original graph).  ``assignments[ℓ]`` maps fine vertex →
     coarse vertex between level ℓ and ℓ+1.  ``level`` is mutated by
     pool/unpool layers as the sample flows through the network.
+
+    ``cache`` is an optional sample-lifetime dict (persisted on the
+    owning :class:`~repro.gcn.samples.GraphSample`, shared by every
+    forward pass over that sample).  Layers use it to memoize purely
+    graph-and-input-dependent work — e.g. the first ChebConv layer's
+    Chebyshev basis, which depends only on the fixed Laplacian and the
+    fixed input features, not on the weights, and is therefore
+    identical across every epoch of training.
     """
 
     laplacians: list[sp.csr_matrix]
     assignments: list[np.ndarray] = field(default_factory=list)
     level: int = 0
+    cache: dict | None = None
 
     @property
     def laplacian(self) -> sp.csr_matrix:
@@ -91,15 +100,41 @@ class ChebConv(Layer):
         )
         self.params["bias"] = np.zeros(out_features)
         self.zero_grad()
-        self._basis: np.ndarray | None = None
         self._laplacian: sp.csr_matrix | None = None
+        #: Set by :class:`~repro.gcn.model.GCNModel` on the first conv
+        #: layer: its input is the sample's (constant) feature matrix,
+        #: so ∂loss/∂input is never consumed and the K sparse products
+        #: of the basis backward pass can be skipped entirely.
+        self.input_layer = False
 
     def forward(self, x, ctx, training):
         laplacian = ctx.laplacian
-        basis = chebyshev_basis(laplacian, x, self.order)  # (K, n, Fin)
-        n = x.shape[0]
-        flat = basis.transpose(1, 0, 2).reshape(n, self.order * self.in_features)
-        self._basis = basis
+        flat = None
+        use_cache = ctx.cache is not None and self.input_layer
+        if use_cache:
+            entry = ctx.cache.get("cheb-input-flat")
+            # Identity check: a hit requires the very same input and
+            # Laplacian array objects (the cache holds strong
+            # references, so their ids cannot be recycled) at the same
+            # order.  Weight updates never invalidate the basis — it
+            # depends only on the Laplacian and the input — so the
+            # entry stays valid for the sample's whole lifetime, and
+            # any model with the same filter order shares it.
+            if (
+                entry is not None
+                and entry[0] is x
+                and entry[1] is laplacian
+                and entry[2] == self.order
+            ):
+                flat = entry[3]
+        if flat is None:
+            basis = chebyshev_basis(laplacian, x, self.order)  # (K, n, Fin)
+            n = x.shape[0]
+            flat = basis.transpose(1, 0, 2).reshape(
+                n, self.order * self.in_features
+            )
+            if use_cache:
+                ctx.cache["cheb-input-flat"] = (x, laplacian, self.order, flat)
         self._flat = flat
         self._laplacian = laplacian
         return flat @ self.params["weight"] + self.params["bias"]
@@ -108,6 +143,9 @@ class ChebConv(Layer):
         self.grads["weight"] += self._flat.T @ grad
         self.grads["bias"] += grad.sum(axis=0)
         n = grad.shape[0]
+        if self.input_layer:
+            # ∂loss/∂features is never used; skip K sparse matmuls.
+            return np.zeros((n, self.in_features))
         grad_flat = grad @ self.params["weight"].T  # (n, K*Fin)
         grad_basis = grad_flat.reshape(n, self.order, self.in_features).transpose(
             1, 0, 2
@@ -248,11 +286,16 @@ class GraphPool(Layer):
         n_coarse = int(assign.max()) + 1 if assign.size else 0
         out = np.full((n_coarse, x.shape[1]), -np.inf)
         np.maximum.at(out, assign, x)
-        # Track which fine vertex supplied each max for routing grads.
+        # Track which fine vertex supplied each max for routing grads:
+        # among a cluster's members that attain the max, the highest
+        # fine index wins (scatter-max over candidate indices, with −1
+        # marking non-attaining members so the zero init survives).
         winner = np.zeros((n_coarse, x.shape[1]), dtype=np.int64)
-        for fine, coarse in enumerate(assign):
-            exact = x[fine] == out[coarse]
-            winner[coarse] = np.where(exact, fine, winner[coarse])
+        if assign.size:
+            attained = x == out[assign]  # (n_fine, F)
+            fine_ids = np.arange(x.shape[0])[:, None]
+            candidates = np.where(attained, fine_ids, -1)
+            np.maximum.at(winner, assign, candidates)
         self._winner = winner
         self._n_fine = x.shape[0]
         ctx.level += 1
@@ -260,9 +303,10 @@ class GraphPool(Layer):
 
     def backward(self, grad):
         out = np.zeros((self._n_fine, grad.shape[1]))
-        cols = np.arange(grad.shape[1])
-        for coarse in range(grad.shape[0]):
-            out[self._winner[coarse], cols] += grad[coarse]
+        cols = np.broadcast_to(
+            np.arange(grad.shape[1]), self._winner.shape
+        )
+        np.add.at(out, (self._winner, cols), grad)
         return out
 
 

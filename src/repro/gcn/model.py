@@ -110,6 +110,10 @@ class GCNModel:
         layers.append(Dropout(config.dropout, seeded_rng(("dropout", config.seed))))
         layers.append(Dense(config.fc_size, config.n_classes, rng))
         self.layers = layers
+        # The first conv consumes the sample's constant feature matrix:
+        # its Chebyshev basis is cacheable across epochs, and its input
+        # gradient is dead (nothing upstream consumes it).
+        layers[0].input_layer = True
 
     # -- plumbing -------------------------------------------------------
 

@@ -9,7 +9,7 @@ sample keeps training O(K·E) per epoch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,6 +30,16 @@ class GraphSample:
     mask: np.ndarray  # (n,) bool — True where the label counts
     pyramid: CoarseningPyramid
     graph: CircuitGraph | None = None
+    #: Sample-lifetime memo shared by every forward pass (epochs and
+    #: evaluation alike): holds the first-layer Chebyshev basis, which
+    #: depends only on the fixed Laplacian + features, never on weights.
+    runtime_cache: dict = field(default_factory=dict)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the runtime memo — workers rebuild it lazily."""
+        state = self.__dict__.copy()
+        state["runtime_cache"] = {}
+        return state
 
     @property
     def n_vertices(self) -> int:
@@ -40,6 +50,7 @@ class GraphSample:
         return SampleContext(
             laplacians=self.pyramid.laplacians,
             assignments=self.pyramid.assignments,
+            cache=self.runtime_cache,
         )
 
     @classmethod

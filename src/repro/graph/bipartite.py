@@ -22,7 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import GraphConstructionError
-from repro.spice.netlist import Circuit, Device, DeviceKind, is_power_net
+from repro.spice.netlist import Circuit, Device, is_power_net
 
 #: Bit positions of the 3-bit edge label ``lg ls ld`` (gate is the MSB).
 GATE_BIT = 0b100

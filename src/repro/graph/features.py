@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.bipartite import CircuitGraph, GATE_BIT
+from repro.graph.bipartite import CircuitGraph
 from repro.spice.flatten import instance_path
 from repro.spice.netlist import Device, DeviceKind, is_ground_net, is_supply_net
 

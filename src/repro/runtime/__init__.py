@@ -1,0 +1,31 @@
+"""Runtime layer: caching and parallel execution for the GANA flow.
+
+The paper's headline numbers are wall-clock (Sec. V-B: 135 s for the
+switched-capacitor filter, 514 s for the phased array), so runtime is a
+first-class concern of the reproduction.  This package holds the two
+infrastructure pieces the rest of the code builds on:
+
+* :mod:`repro.runtime.cache` — a content-addressed disk cache for
+  trained recognition models, so ``GanaPipeline.pretrained()`` is a
+  millisecond load after the first call in *any* process;
+* :mod:`repro.runtime.parallel` — a process-pool ``parallel_map`` with
+  chunking, deterministic result ordering, and a serial fallback, used
+  for dataset generation, cross-validation folds, and batch annotation.
+"""
+
+from repro.runtime.cache import (
+    ModelCache,
+    cache_enabled,
+    default_cache_dir,
+    fingerprint,
+)
+from repro.runtime.parallel import parallel_map, resolve_workers
+
+__all__ = [
+    "ModelCache",
+    "cache_enabled",
+    "default_cache_dir",
+    "fingerprint",
+    "parallel_map",
+    "resolve_workers",
+]

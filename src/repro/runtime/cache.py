@@ -1,0 +1,186 @@
+"""Content-addressed disk cache for trained recognition models.
+
+``pretrain_annotator`` is deterministic: the trained weights are a pure
+function of the model config, the training config, the dataset spec,
+and the seed.  That makes the trained model safely cacheable by a
+fingerprint of those inputs — the first ``GanaPipeline.pretrained()``
+call in any process pays for training, every later one (including in
+other processes) is a millisecond ``np.load``.
+
+Layout: one ``<fingerprint>.npz`` per model under the cache directory
+(default ``~/.cache/gana``, overridable via the ``GANA_CACHE_DIR``
+environment variable).  Each file carries the full model state dict,
+the model config, the class vocabulary, and a format-version stamp;
+any mismatch, truncation, or unpickling error is treated as a cache
+miss and falls back to retraining.  Writes are atomic (temp file +
+``os.replace``) so a crashed or concurrent writer can never leave a
+half-written entry behind.
+
+Set ``GANA_NO_CACHE=1`` (or pass ``cache=False`` / ``--no-cache``) to
+bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "GANA_CACHE_DIR"
+#: Environment variable disabling the cache ("1"/"true"/"yes").
+NO_CACHE_ENV = "GANA_NO_CACHE"
+#: Bumped whenever the on-disk format or training semantics change;
+#: entries with a different version are stale and ignored.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The active cache directory (``GANA_CACHE_DIR`` or ``~/.cache/gana``)."""
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "gana"
+
+
+def cache_enabled() -> bool:
+    """False when ``GANA_NO_CACHE`` asks to bypass the cache."""
+    return os.environ.get(NO_CACHE_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON-encode dataclasses/tuples/sets so fingerprints are stable."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__, **dataclasses.asdict(obj)}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"unfingerprintable object of type {type(obj).__name__}")
+
+
+def fingerprint(spec: dict[str, Any]) -> str:
+    """Deterministic hex digest of a training spec.
+
+    ``spec`` may contain nested dataclasses (``GCNConfig``,
+    ``TrainConfig``), tuples, and plain JSON scalars; key order never
+    matters.
+    """
+    canon = json.dumps(spec, sort_keys=True, default=_canonical)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:32]
+
+
+class ModelCache:
+    """Load/store trained annotators keyed by training-spec fingerprint."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    # -- store -----------------------------------------------------------
+
+    def store(self, key: str, annotator) -> Path | None:
+        """Atomically persist an annotator; returns the entry path.
+
+        Failures (read-only filesystem, disk full) are swallowed — the
+        cache is an accelerator, never a correctness dependency.
+        """
+        path = self.path_for(key)
+        meta = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "class_names": list(annotator.class_names),
+            "config": _config_dict(annotator.model.config),
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(
+                        handle,
+                        __meta__=np.array(json.dumps(meta)),
+                        **annotator.model.state_dict(),
+                    )
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError:
+            return None
+        return path
+
+    # -- load ------------------------------------------------------------
+
+    def load(self, key: str):
+        """Return the cached :class:`GcnAnnotator` for ``key``, or None.
+
+        Corrupted, truncated, stale-format, or otherwise unreadable
+        entries are misses (the bad file is removed so the next store
+        rewrites it cleanly).
+        """
+        from repro.core.annotator import GcnAnnotator
+        from repro.gcn.model import GCNConfig, GCNModel
+
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                meta = json.loads(str(data["__meta__"]))
+                if meta.get("format_version") != CACHE_FORMAT_VERSION:
+                    raise ValueError("stale cache format")
+                raw = dict(meta["config"])
+                raw["channels"] = tuple(raw["channels"])
+                config = GCNConfig(**raw)
+                state = {
+                    k: data[k] for k in data.files if k != "__meta__"
+                }
+            model = GCNModel(config)
+            model.load_state_dict(state)
+            return GcnAnnotator(
+                model=model, class_names=tuple(meta["class_names"])
+            )
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    # -- maintenance -----------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.npz"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def _config_dict(config) -> dict[str, Any]:
+    raw = dataclasses.asdict(config)
+    raw["channels"] = list(raw["channels"])
+    return raw

@@ -3,11 +3,31 @@ quick-trained annotator (so expensive training happens once)."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.graph.bipartite import CircuitGraph
 from repro.spice.flatten import flatten
 from repro.spice.parser import parse_netlist
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_model_cache(tmp_path_factory):
+    """Point the trained-model cache at a session tmp dir.
+
+    Keeps the suite hermetic (never touches ``~/.cache/gana``) while
+    still exercising the cache code paths: repeated pretrains within
+    one session hit the session-local cache.
+    """
+    cache_dir = tmp_path_factory.mktemp("gana-model-cache")
+    previous = os.environ.get("GANA_CACHE_DIR")
+    os.environ["GANA_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("GANA_CACHE_DIR", None)
+    else:
+        os.environ["GANA_CACHE_DIR"] = previous
 
 #: The Fig. 3 differential OTA (simplified, no body terminals shown in
 #: the paper; bodies default to the rails here).

@@ -290,3 +290,106 @@ class TestConcat:
     def test_requires_saved(self):
         with pytest.raises(ModelConfigError):
             Concat().forward(np.zeros((4, 3)), _ctx(), True)
+
+
+class TestGraphPoolVectorization:
+    """The scatter-based pool must match a per-vertex reference loop."""
+
+    @staticmethod
+    def _reference_pool(x, assign):
+        n_coarse = int(assign.max()) + 1 if assign.size else 0
+        out = np.full((n_coarse, x.shape[1]), -np.inf)
+        np.maximum.at(out, assign, x)
+        winner = np.zeros((n_coarse, x.shape[1]), dtype=np.int64)
+        for fine, coarse in enumerate(assign):
+            exact = x[fine] == out[coarse]
+            winner[coarse] = np.where(exact, fine, winner[coarse])
+        return out, winner
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_forward_and_winner_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 24))
+        ctx = _ctx(n)
+        x = rng.normal(size=(n, 5))
+        # Inject exact ties so winner-routing tie-breaks are exercised.
+        x[:: max(1, n // 3)] = x[0]
+        pool = GraphPool()
+        out = pool.forward(x, ctx, training=True)
+        ref_out, ref_winner = self._reference_pool(x, ctx.assignments[0])
+        np.testing.assert_array_equal(out, ref_out)
+        np.testing.assert_array_equal(pool._winner, ref_winner)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_backward_matches_reference_routing(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 12
+        ctx = _ctx(n)
+        x = rng.normal(size=(n, 3))
+        pool = GraphPool()
+        out = pool.forward(x, ctx, training=True)
+        grad_up = rng.normal(size=out.shape)
+        grad = pool.backward(grad_up)
+        reference = np.zeros((n, 3))
+        cols = np.arange(3)
+        for coarse in range(out.shape[0]):
+            reference[pool._winner[coarse], cols] += grad_up[coarse]
+        np.testing.assert_array_equal(grad, reference)
+
+
+class TestChebConvInputCache:
+    def test_cached_forward_is_identical(self):
+        """With a context cache, repeat forwards reuse the basis and
+        produce the exact same output."""
+        rng = seeded_rng(7)
+        layer = ChebConv(3, 4, order=5, rng=rng)
+        layer.input_layer = True
+        pyramid = build_pyramid(_ring_adj(8), levels=1, rng=seeded_rng(0))
+        cache: dict = {}
+        x = np.random.default_rng(1).normal(size=(8, 3))
+
+        def fresh_ctx():
+            return SampleContext(
+                laplacians=pyramid.laplacians,
+                assignments=pyramid.assignments,
+                cache=cache,
+            )
+
+        first = layer.forward(x, fresh_ctx(), training=True)
+        assert "cheb-input-flat" in cache
+        cached_flat = cache["cheb-input-flat"][3]
+        second = layer.forward(x, fresh_ctx(), training=True)
+        np.testing.assert_array_equal(first, second)
+        assert layer._flat is cached_flat  # reused, not recomputed
+
+    def test_different_input_misses(self):
+        layer = ChebConv(3, 4, order=5, rng=seeded_rng(7))
+        layer.input_layer = True
+        pyramid = build_pyramid(_ring_adj(8), levels=1, rng=seeded_rng(0))
+        cache: dict = {}
+        ctx = SampleContext(
+            laplacians=pyramid.laplacians,
+            assignments=pyramid.assignments,
+            cache=cache,
+        )
+        rng = np.random.default_rng(1)
+        layer.forward(rng.normal(size=(8, 3)), ctx, training=True)
+        stale = cache["cheb-input-flat"][3]
+        ctx.level = 0
+        layer.forward(rng.normal(size=(8, 3)), ctx, training=True)
+        assert cache["cheb-input-flat"][3] is not stale
+
+    def test_input_layer_backward_skips_dead_gradient(self):
+        layer = ChebConv(3, 4, order=5, rng=seeded_rng(7))
+        layer.input_layer = True
+        pyramid = build_pyramid(_ring_adj(8), levels=1, rng=seeded_rng(0))
+        ctx = SampleContext(
+            laplacians=pyramid.laplacians, assignments=pyramid.assignments
+        )
+        x = np.random.default_rng(1).normal(size=(8, 3))
+        out = layer.forward(x, ctx, training=True)
+        layer.zero_grad()
+        grad_in = layer.backward(np.ones_like(out))
+        # Parameter gradients are real; the dead input gradient is zeros.
+        assert np.abs(layer.grads["weight"]).sum() > 0
+        np.testing.assert_array_equal(grad_in, np.zeros((8, 3)))

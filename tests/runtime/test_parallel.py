@@ -1,0 +1,91 @@
+"""The process-pool map: ordering, fallback, worker resolution."""
+
+from __future__ import annotations
+
+import os
+
+from repro.runtime.parallel import (
+    default_chunksize,
+    parallel_map,
+    resolve_workers,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _tag_pid(x: int) -> tuple[int, int]:
+    return x, os.getpid()
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("GANA_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("GANA_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_garbage_env_falls_through(self, monkeypatch):
+        monkeypatch.setenv("GANA_WORKERS", "many")
+        assert resolve_workers() >= 1
+
+    def test_default_is_positive(self, monkeypatch):
+        monkeypatch.delenv("GANA_WORKERS", raising=False)
+        assert resolve_workers() >= 1
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+
+class TestChunksize:
+    def test_small_input_single_chunks(self):
+        assert default_chunksize(3, 8) == 1
+
+    def test_large_input_amortizes(self):
+        assert default_chunksize(1000, 4) > 1
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, range(10), workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_pool_path_preserves_order(self):
+        # Forcing two workers exercises the pool even on a 1-cpu host.
+        assert parallel_map(_square, range(20), workers=2) == [
+            x * x for x in range(20)
+        ]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        result = parallel_map(_tag_pid, [3], workers=8)
+        assert result == [(3, os.getpid())]
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        # Lambdas don't pickle; the pool attempt must degrade, not raise.
+        result = parallel_map(lambda x: x + 1, range(6), workers=2)
+        assert result == [1, 2, 3, 4, 5, 6]
+
+    def test_initializer_runs_in_serial_path(self):
+        calls = []
+        result = parallel_map(
+            _square, [2, 3], workers=1, initializer=calls.append, initargs=("yes",)
+        )
+        assert result == [4, 9]
+        assert calls == ["yes"]
+
+    def test_worker_exception_propagates(self):
+        import pytest
+
+        def boom(x):
+            raise RuntimeError("worker failure")
+
+        with pytest.raises(RuntimeError, match="worker failure"):
+            parallel_map(boom, range(3), workers=1)

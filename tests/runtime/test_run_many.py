@@ -1,0 +1,85 @@
+"""Batch annotation parity: ``run_many`` ≡ a serial ``run`` loop.
+
+ISSUE 1 acceptance: parallel batch annotation over ≥4 netlists matches
+serial ``run()`` results exactly, including the ``timings`` keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GanaPipeline
+from repro.datasets.ota import OtaSpec, generate_ota, ota_variants
+from repro.spice.writer import write_circuit
+
+
+@pytest.fixture(scope="module")
+def pipeline(quick_ota_annotator):
+    return GanaPipeline(annotator=quick_ota_annotator)
+
+
+@pytest.fixture(scope="module")
+def decks():
+    specs = ota_variants(6, seed="run-many")
+    return [
+        write_circuit(generate_ota(spec, name=f"batch{i}").circuit)
+        for i, spec in enumerate(specs)
+    ]
+
+
+def _assert_same_results(batch, serial):
+    assert len(batch) == len(serial)
+    for got, want in zip(batch, serial):
+        assert got.annotation.element_classes == want.annotation.element_classes
+        assert got.annotation.net_classes == want.annotation.net_classes
+        assert np.array_equal(
+            got.gcn_annotation.vertex_classes, want.gcn_annotation.vertex_classes
+        )
+        assert got.hierarchy.render() == want.hierarchy.render()
+        assert set(got.timings) == set(want.timings)
+        assert set(got.timings) == {
+            "preprocess", "graph", "gcn", "post1", "post2", "hierarchy",
+        }
+
+
+class TestRunMany:
+    def test_matches_serial_run(self, pipeline, decks):
+        names = [f"sys{i}" for i in range(len(decks))]
+        serial = [
+            pipeline.run(deck, name=name) for deck, name in zip(decks, names)
+        ]
+        batch = pipeline.run_many(decks, names=names)
+        _assert_same_results(batch, serial)
+
+    def test_matches_serial_run_forced_pool(self, pipeline, decks):
+        """Even on a 1-cpu host, workers=2 exercises the process pool."""
+        names = [f"sys{i}" for i in range(len(decks))]
+        serial = [
+            pipeline.run(deck, name=name) for deck, name in zip(decks, names)
+        ]
+        batch = pipeline.run_many(decks, names=names, workers=2)
+        _assert_same_results(batch, serial)
+
+    def test_shared_port_labels_apply_to_all(self, pipeline, decks):
+        labels = {"vout": "output"}
+        batch = pipeline.run_many(decks[:4], port_labels=labels)
+        serial = [pipeline.run(deck, port_labels=labels) for deck in decks[:4]]
+        _assert_same_results(batch, serial)
+
+    def test_per_netlist_port_labels(self, pipeline, decks):
+        per_item = [{"vout": "output"}, None, {}, {"vinp": "input"}]
+        batch = pipeline.run_many(decks[:4], port_labels=per_item)
+        serial = [
+            pipeline.run(deck, port_labels=labels)
+            for deck, labels in zip(decks[:4], per_item)
+        ]
+        _assert_same_results(batch, serial)
+
+    def test_empty_batch(self, pipeline):
+        assert pipeline.run_many([]) == []
+
+    def test_single_netlist(self, pipeline, decks):
+        batch = pipeline.run_many([decks[0]], names=["only"])
+        serial = [pipeline.run(decks[0], name="only")]
+        _assert_same_results(batch, serial)
