@@ -127,3 +127,30 @@ def subblock_template_library(
                 SubblockTemplate.from_circuit(sub.name, cls, sub)
             )
     return recognizer
+
+
+def task_fallback_recognizer(
+    class_names: tuple[str, ...],
+    n_train: int = 16,
+    seed: object = "degraded-fallback",
+    max_templates: int = 40,
+) -> TemplateRecognizer:
+    """A template recognizer covering a task's class vocabulary.
+
+    This is the degradation ladder's safety net: when GCN inference
+    fails (or is too unsure to trust), ``GanaPipeline.run`` falls back
+    to exactly the prior art the paper replaces — template matching
+    over an enumerated topology database — built here from a small
+    seeded sample of the task's generator circuits.  Construction is
+    deterministic and pure, so the recognizer can be built lazily and
+    cached on the pipeline.
+    """
+    from repro.datasets.synth import generate_ota_bias_dataset, generate_rf_dataset
+
+    generator = (
+        generate_rf_dataset
+        if {"lna", "mixer", "osc"} & set(class_names)
+        else generate_ota_bias_dataset
+    )
+    items = generator(n_train, seed=seed)
+    return subblock_template_library(items, max_templates=max_templates)

@@ -11,6 +11,14 @@
 the discovered constraints.  ``train`` trains a recognition model on
 generated data and saves its weights.  ``primitives`` lists the
 template library.  ``datasets`` writes generated SPICE decks to disk.
+
+Error handling: every library error (:class:`~repro.exceptions.GanaError`)
+is caught at the top level and rendered as a one-line diagnostic —
+with the offending line number and fix hint when the parser knows them
+— and a non-zero exit code.  ``annotate --lenient`` recovers from bad
+cards instead, reporting them as per-line diagnostics on stderr while
+still annotating what parsed; in batch mode it additionally isolates
+per-deck faults so one poisoned deck cannot sink the batch.
 """
 
 from __future__ import annotations
@@ -59,11 +67,16 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         net, _, label = spec.partition("=")
         port_labels[net] = label
 
+    mode = "lenient" if args.lenient else "strict"
     if len(paths) > 1:
-        return _annotate_batch(args, pipeline, paths, port_labels)
+        return _annotate_batch(args, pipeline, paths, port_labels, mode)
     result = pipeline.run(
-        paths[0].read_text(), port_labels=port_labels, name=paths[0].stem
+        paths[0].read_text(),
+        port_labels=port_labels,
+        name=paths[0].stem,
+        mode=mode,
     )
+    _report_result_health(paths[0], result)
 
     if args.export_dir:
         from repro.core.export import (
@@ -91,6 +104,8 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             "nets": result.annotation.net_classes,
             "hierarchy": result.hierarchy.to_dict(),
             "timings": result.timings,
+            "degraded": result.degraded,
+            "diagnostics": [d.to_dict() for d in result.diagnostics],
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -109,35 +124,87 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_result_health(path: Path, result) -> None:
+    """Surface lenient-mode diagnostics and degradation on stderr."""
+    for diag in result.diagnostics:
+        print(f"{path}: {diag.format()}", file=sys.stderr)
+    if result.degraded:
+        print(
+            f"{path}: warning: annotation degraded — {result.degraded_reason}",
+            file=sys.stderr,
+        )
+
+
 def _annotate_batch(
-    args: argparse.Namespace, pipeline, paths: list[Path], port_labels: dict
+    args: argparse.Namespace,
+    pipeline,
+    paths: list[Path],
+    port_labels: dict,
+    mode: str,
 ) -> int:
-    """Batch-annotate several decks through ``GanaPipeline.run_many``."""
+    """Batch-annotate several decks through ``GanaPipeline.run_many``.
+
+    In lenient mode the batch is fault-isolated: a deck that still
+    fails (or blows ``--timeout``) yields a one-line failure summary on
+    stderr and a non-zero exit, but every other deck is annotated.
+    """
     results = pipeline.run_many(
         [path.read_text() for path in paths],
         names=[path.stem for path in paths],
         port_labels=port_labels,
         workers=args.workers,
+        mode=mode,
+        on_error="report" if mode == "lenient" else "raise",
+        timeout=args.timeout,
     )
-    if args.json:
-        payload = [
-            {
-                "netlist": str(path),
-                "devices": result.annotation.element_classes,
-                "nets": result.annotation.net_classes,
-                "hierarchy": result.hierarchy.to_dict(),
-                "timings": result.timings,
-            }
-            for path, result in zip(paths, results)
-        ]
-        print(json.dumps(payload, indent=2))
-        return 0
+    failures = 0
     for path, result in zip(paths, results):
+        if not result.ok:
+            failures += 1
+            print(f"{path}: {result.summary()}", file=sys.stderr)
+            for diag in result.diagnostics:
+                print(f"{path}: {diag.format()}", file=sys.stderr)
+        else:
+            _report_result_health(path, result)
+    if args.json:
+        payload = []
+        for path, result in zip(paths, results):
+            if result.ok:
+                payload.append(
+                    {
+                        "netlist": str(path),
+                        "devices": result.annotation.element_classes,
+                        "nets": result.annotation.net_classes,
+                        "hierarchy": result.hierarchy.to_dict(),
+                        "timings": result.timings,
+                        "degraded": result.degraded,
+                        "diagnostics": [
+                            d.to_dict() for d in result.diagnostics
+                        ],
+                    }
+                )
+            else:
+                payload.append(
+                    {
+                        "netlist": str(path),
+                        "failed": True,
+                        "stage": result.stage,
+                        "error": result.error,
+                        "diagnostics": [
+                            d.to_dict() for d in result.diagnostics
+                        ],
+                    }
+                )
+        print(json.dumps(payload, indent=2))
+        return 1 if failures else 0
+    for path, result in zip(paths, results):
+        if not result.ok:
+            continue
         print(f"=== {path} ===")
         for device, cls in sorted(result.annotation.element_classes.items()):
             print(f"  {device:<16} {cls}")
         print(result.hierarchy.render())
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -243,6 +310,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="process-pool size for batch annotation (default: GANA_WORKERS or cpu count)",
     )
+    strictness = annotate.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on the first malformed card (default)",
+    )
+    strictness.add_argument(
+        "--lenient",
+        action="store_true",
+        help="recover from malformed cards, reporting them as diagnostics;"
+        " in batch mode also isolate per-deck failures",
+    )
+    annotate.add_argument(
+        "--timeout",
+        type=float,
+        help="per-deck wall-clock ceiling in seconds for batch annotation",
+    )
     annotate.set_defaults(func=_cmd_annotate)
 
     train = sub.add_parser("train", help="train a recognition model")
@@ -283,9 +367,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.exceptions import GanaError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except GanaError as exc:
+        # One line, with the offending line number and hint when the
+        # error carries them (SpiceSyntaxError does; see exceptions.py).
+        where = ""
+        line = getattr(exc, "line", None)
+        if line is not None:
+            where = f" at line {line}"
+        hint = getattr(exc, "hint", None)
+        suffix = f" (hint: {hint})" if hint else ""
+        message = getattr(exc, "message", None) or str(exc)
+        print(
+            f"error: {type(exc).__name__}{where}: {message}{suffix}",
+            file=sys.stderr,
+        )
+        return 1
 
 
 if __name__ == "__main__":

@@ -11,14 +11,31 @@
 Every stage's wall-clock time is recorded in
 :attr:`PipelineResult.timings` — the quantity Sec. V-B reports for the
 switched-capacitor filter (135 s) and phased array (514 s).
+
+Resilience (see :mod:`repro.runtime.resilience`):
+
+* ``run(..., mode="lenient")`` parses/elaborates leniently and carries
+  the collected diagnostics on :attr:`PipelineResult.diagnostics`;
+* when GCN inference errors — or every vertex lands below
+  ``confidence_floor`` — ``run`` falls back to the template-library
+  classifier (the prior art of refs [2]/[3]) and marks the result
+  ``degraded=True`` so callers can tell;
+* ``run_many(..., on_error="report")`` isolates per-deck faults: each
+  item yields either a :class:`PipelineResult` or a structured
+  :class:`~repro.runtime.resilience.FailureReport` (stage, exception
+  chain, diagnostics), in input order, with per-item wall-clock
+  ``timeout`` ceilings and bounded retry-with-backoff for transient
+  worker-pool failures.
 """
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.baselines.template import TemplateRecognizer, task_fallback_recognizer
 from repro.core.annotator import Annotation, GcnAnnotator
 from repro.core.constraints import (
     ConstraintSet,
@@ -34,6 +51,13 @@ from repro.core.postprocess import (
 from repro.graph.bipartite import CircuitGraph
 from repro.graph.features import NetRole
 from repro.primitives.library import PrimitiveLibrary, extended_library
+from repro.runtime.resilience import (
+    Diagnostic,
+    FailureReport,
+    failure_report,
+    stage,
+    time_limit,
+)
 from repro.spice.flatten import flatten
 from repro.spice.netlist import Circuit, Netlist, is_power_net
 from repro.spice.parser import parse_netlist
@@ -52,6 +76,18 @@ class PipelineResult:
     constraints: ConstraintSet
     preprocess_report: PreprocessReport
     timings: dict[str, float] = field(default_factory=dict)
+    #: Lenient-mode parse/elaboration problems for this input.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: True when GCN inference failed (or fell below the confidence
+    #: floor) and the annotation came from the template-library
+    #: fallback instead.
+    degraded: bool = False
+    degraded_reason: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Mirror of :attr:`FailureReport.ok` for uniform batch filtering."""
+        return True
 
     @property
     def annotation(self) -> Annotation:
@@ -182,11 +218,24 @@ def build_hierarchy(
 
 @dataclass
 class GanaPipeline:
-    """User-facing entry point: a trained annotator plus the library."""
+    """User-facing entry point: a trained annotator plus the library.
+
+    ``degrade`` controls graceful degradation: when GCN inference
+    raises, or every vertex's top softmax lands below
+    ``confidence_floor`` (0.0 disables the floor), annotation falls
+    back to the template-library classifier and the result is marked
+    ``degraded=True``.  Set ``degrade=False`` to let inference errors
+    propagate instead.
+    """
 
     annotator: GcnAnnotator
     library: PrimitiveLibrary = field(default_factory=extended_library)
     detect_bpf: bool = True
+    degrade: bool = True
+    confidence_floor: float = 0.0
+    #: Lazily built (and then cached) template recognizer used as the
+    #: degradation fallback; inject one to control its topology library.
+    fallback_recognizer: TemplateRecognizer | None = None
 
     @property
     def class_names(self) -> tuple[str, ...]:
@@ -230,6 +279,7 @@ class GanaPipeline:
         port_labels: dict[str, str] | None = None,
         name: str = "",
         infer_testbench: bool = True,
+        mode: str = "strict",
     ) -> PipelineResult:
         """Execute the full flow on a SPICE deck / netlist / flat circuit.
 
@@ -237,51 +287,90 @@ class GanaPipeline:
         ``infer_testbench`` is on, antenna/oscillating port labels and
         bias net roles are inferred from them (Sec. V-A footnote 2);
         explicit ``port_labels``/``net_roles`` entries always win.
+
+        ``mode="lenient"`` parses and elaborates with error recovery:
+        malformed cards and broken instances are skipped, and the
+        collected :class:`~repro.runtime.resilience.Diagnostic` records
+        land on :attr:`PipelineResult.diagnostics`.  Escaping
+        exceptions are tagged with the stage they came from (``parse``,
+        ``preprocess``, ``graph``, ``gcn``, ``post1``, ``post2``,
+        ``hierarchy``) for :func:`~repro.runtime.resilience.failure_report`.
         """
         timings: dict[str, float] = {}
+        diagnostics: list[Diagnostic] = []
+        lenient = mode == "lenient"
 
-        start = time.perf_counter()
-        if isinstance(netlist, str):
-            netlist = parse_netlist(netlist)
-        if isinstance(netlist, Netlist):
-            flat = flatten(netlist)
-        else:
-            flat = netlist
-        if infer_testbench and any(d.kind.is_source for d in flat.devices):
-            from repro.core.testbench import infer_net_roles, infer_port_labels
+        with stage("preprocess", timings, diagnostics):
+            with stage("parse", diagnostics=diagnostics):
+                if isinstance(netlist, str):
+                    netlist = parse_netlist(netlist, mode=mode)
+                if isinstance(netlist, Netlist):
+                    diagnostics.extend(netlist.diagnostics)
+                    flat = flatten(
+                        netlist, diagnostics=diagnostics if lenient else None
+                    )
+                else:
+                    flat = netlist
+            if infer_testbench and any(d.kind.is_source for d in flat.devices):
+                from repro.core.testbench import (
+                    infer_net_roles,
+                    infer_port_labels,
+                )
 
-            inferred_labels = infer_port_labels(flat)
-            inferred_labels.update(port_labels or {})
-            port_labels = inferred_labels
-            inferred_roles = infer_net_roles(flat)
-            inferred_roles.update(net_roles or {})
-            net_roles = inferred_roles
-        reduced, report = preprocess(flat)
-        timings["preprocess"] = time.perf_counter() - start
+                inferred_labels = infer_port_labels(flat)
+                inferred_labels.update(port_labels or {})
+                port_labels = inferred_labels
+                inferred_roles = infer_net_roles(flat)
+                inferred_roles.update(net_roles or {})
+                net_roles = inferred_roles
+            reduced, report = preprocess(flat)
 
-        start = time.perf_counter()
-        graph = CircuitGraph.from_circuit(reduced)
-        timings["graph"] = time.perf_counter() - start
+        with stage("graph", timings, diagnostics):
+            graph = CircuitGraph.from_circuit(reduced)
 
-        start = time.perf_counter()
-        gcn_annotation = self.annotator.annotate(graph, net_roles=net_roles)
-        timings["gcn"] = time.perf_counter() - start
+        degraded_reason: str | None = None
+        with stage("gcn", timings, diagnostics):
+            try:
+                gcn_annotation = self.annotator.annotate(
+                    graph, net_roles=net_roles
+                )
+            except Exception as exc:
+                if not self.degrade:
+                    raise
+                degraded_reason = (
+                    f"GCN inference failed "
+                    f"({type(exc).__name__}: {exc}); fell back to the "
+                    f"template-library classifier"
+                )
+            else:
+                if (
+                    self.degrade
+                    and self.confidence_floor > 0.0
+                    and gcn_annotation.probabilities is not None
+                    and graph.n_vertices > 0
+                ):
+                    top = gcn_annotation.probabilities.max(axis=1)
+                    if float(top.max()) < self.confidence_floor:
+                        degraded_reason = (
+                            f"every vertex confidence below the "
+                            f"{self.confidence_floor:g} floor; fell back "
+                            f"to the template-library classifier"
+                        )
+            if degraded_reason is not None:
+                gcn_annotation = self._degraded_annotation(graph)
 
-        start = time.perf_counter()
-        post1 = postprocess_ccc(
-            gcn_annotation, self.library, detect_bpf=self.detect_bpf
-        )
-        timings["post1"] = time.perf_counter() - start
+        with stage("post1", timings, diagnostics):
+            post1 = postprocess_ccc(
+                gcn_annotation, self.library, detect_bpf=self.detect_bpf
+            )
 
-        start = time.perf_counter()
-        post2 = apply_port_rules(post1, port_labels or {})
-        timings["post2"] = time.perf_counter() - start
+        with stage("post2", timings, diagnostics):
+            post2 = apply_port_rules(post1, port_labels or {})
 
-        start = time.perf_counter()
-        hierarchy, constraints = build_hierarchy(
-            post2, system_name=name or flat.name
-        )
-        timings["hierarchy"] = time.perf_counter() - start
+        with stage("hierarchy", timings, diagnostics):
+            hierarchy, constraints = build_hierarchy(
+                post2, system_name=name or flat.name
+            )
 
         return PipelineResult(
             graph=graph,
@@ -292,6 +381,58 @@ class GanaPipeline:
             constraints=constraints,
             preprocess_report=report,
             timings=timings,
+            diagnostics=diagnostics,
+            degraded=degraded_reason is not None,
+            degraded_reason=degraded_reason,
+        )
+
+    # -- graceful degradation ---------------------------------------------
+
+    def _fallback(self) -> TemplateRecognizer:
+        if self.fallback_recognizer is None:
+            self.fallback_recognizer = task_fallback_recognizer(
+                self.class_names
+            )
+        return self.fallback_recognizer
+
+    def _degraded_annotation(self, graph: CircuitGraph) -> Annotation:
+        """Template-library classification shaped like a GCN annotation.
+
+        Devices covered by a template match take its class; everything
+        else gets the majority recognized class (or class 0); net
+        vertices take the majority class of their adjacent elements.
+        Probabilities are one-hot so the CCC vote still has weights.
+        """
+        recognized = self._fallback().recognize(graph)
+        names = self.class_names
+        name_to_id = {cls: i for i, cls in enumerate(names)}
+        n = graph.n_vertices
+        classes = np.full(n, -1, dtype=np.int64)
+        for i, dev in enumerate(graph.elements):
+            cls = recognized.get(dev.name)
+            if cls in name_to_id:
+                classes[i] = name_to_id[cls]
+        assigned = classes[: graph.n_elements]
+        covered = assigned[assigned >= 0]
+        default = (
+            int(np.bincount(covered).argmax()) if covered.size else 0
+        )
+        classes[:graph.n_elements][assigned < 0] = default
+        votes: dict[int, Counter] = defaultdict(Counter)
+        for edge in graph.edges:
+            votes[edge.net][int(classes[edge.element])] += 1
+        for j in range(len(graph.nets)):
+            tally = votes.get(j)
+            classes[graph.n_elements + j] = (
+                tally.most_common(1)[0][0] if tally else default
+            )
+        probabilities = np.zeros((n, len(names)))
+        probabilities[np.arange(n), classes] = 1.0
+        return Annotation(
+            graph=graph,
+            class_names=names,
+            vertex_classes=classes,
+            probabilities=probabilities,
         )
 
     def run_many(
@@ -303,7 +444,11 @@ class GanaPipeline:
         infer_testbench: bool = True,
         workers: int | None = None,
         chunksize: int | None = None,
-    ) -> list[PipelineResult]:
+        mode: str = "strict",
+        on_error: str = "raise",
+        timeout: float | None = None,
+        pool_retries: int = 2,
+    ) -> list[PipelineResult | FailureReport]:
         """Annotate a fleet of netlists, in parallel where possible.
 
         Each netlist goes through exactly the same :meth:`run` flow;
@@ -316,10 +461,28 @@ class GanaPipeline:
         ``GANA_WORKERS`` > cpu count); one worker, one netlist, or an
         unusable pool all degrade to the serial loop.
 
+        Fault isolation: with ``on_error="report"`` a failing item does
+        not sink the batch — its slot holds a
+        :class:`~repro.runtime.resilience.FailureReport` (failing stage,
+        exception chain, diagnostics) instead of a
+        :class:`PipelineResult`, still in input order; filter with
+        ``r.ok``.  ``on_error="raise"`` (default) preserves the original
+        fail-fast contract.  ``timeout`` is a per-item wall-clock
+        ceiling in seconds (SIGALRM-based, see
+        :func:`~repro.runtime.resilience.time_limit`); a deck that blows
+        it becomes a ``BudgetExceeded`` failure for that item only.
+        ``mode`` is forwarded to :meth:`run`; ``pool_retries`` bounds
+        retry-with-backoff when the worker pool itself dies a transient
+        death (see :func:`repro.runtime.parallel.parallel_map`).
+
         The trained pipeline ships to each worker once (pool
         initializer), not once per netlist, so per-item IPC stays
         proportional to the netlist text + result.
         """
+        if on_error not in ("raise", "report"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'report', got {on_error!r}"
+            )
         from repro.runtime.parallel import parallel_map, resolve_workers
 
         def per_item(value, index):
@@ -329,16 +492,22 @@ class GanaPipeline:
 
         jobs = [
             {
-                "netlist": netlist,
-                "net_roles": per_item(net_roles, i),
-                "port_labels": per_item(port_labels, i),
-                "name": names[i] if names else "",
-                "infer_testbench": infer_testbench,
+                "index": i,
+                "isolate": on_error == "report",
+                "timeout": timeout,
+                "kwargs": {
+                    "netlist": netlist,
+                    "net_roles": per_item(net_roles, i),
+                    "port_labels": per_item(port_labels, i),
+                    "name": names[i] if names else "",
+                    "infer_testbench": infer_testbench,
+                    "mode": mode,
+                },
             }
             for i, netlist in enumerate(netlists)
         ]
         if resolve_workers(workers) <= 1 or len(jobs) <= 1:
-            return [self.run(**job) for job in jobs]
+            return [_run_pipeline_job(self, job) for job in jobs]
         return parallel_map(
             _pipeline_worker_run,
             jobs,
@@ -346,7 +515,26 @@ class GanaPipeline:
             chunksize=chunksize,
             initializer=_pipeline_worker_init,
             initargs=(self,),
+            pool_retries=pool_retries,
         )
+
+
+def _run_pipeline_job(
+    pipeline: GanaPipeline, job: dict
+) -> PipelineResult | FailureReport:
+    """One batch item: run under the item's time ceiling, and — in
+    isolation mode — convert any escape into a :class:`FailureReport`
+    so the batch (and, across processes, the pool protocol) survives.
+    """
+    kwargs = job["kwargs"]
+    label = kwargs["name"] or f"item {job['index']}"
+    try:
+        with time_limit(job["timeout"], what=f"pipeline run for {label}"):
+            return pipeline.run(**kwargs)
+    except Exception as exc:
+        if not job["isolate"]:
+            raise
+        return failure_report(exc, index=job["index"], name=kwargs["name"])
 
 
 #: Per-process pipeline installed by the ``run_many`` pool initializer,
@@ -360,6 +548,6 @@ def _pipeline_worker_init(pipeline: GanaPipeline) -> None:
     _WORKER_PIPELINE = pipeline
 
 
-def _pipeline_worker_run(job: dict) -> PipelineResult:
+def _pipeline_worker_run(job: dict) -> PipelineResult | FailureReport:
     assert _WORKER_PIPELINE is not None, "worker initializer did not run"
-    return _WORKER_PIPELINE.run(**job)
+    return _run_pipeline_job(_WORKER_PIPELINE, job)

@@ -14,11 +14,18 @@ class GanaError(Exception):
 class SpiceSyntaxError(GanaError):
     """Raised when a SPICE netlist cannot be tokenized or parsed.
 
-    Carries the offending line number (1-based) when known.
+    Carries the offending line number (1-based) when known, the raw
+    ``message`` (without the line prefix), and an optional ``hint``
+    suggesting a fix — both feed the lenient-mode
+    :class:`~repro.runtime.resilience.Diagnostic` records.
     """
 
-    def __init__(self, message: str, line: int | None = None):
+    def __init__(
+        self, message: str, line: int | None = None, hint: str | None = None
+    ):
         self.line = line
+        self.message = message
+        self.hint = hint
         if line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
@@ -51,3 +58,28 @@ class LayoutError(GanaError):
 
 class DatasetError(GanaError):
     """Raised by dataset generators for invalid specs."""
+
+
+class BudgetExceeded(GanaError):
+    """Raised when a search exhausts its step or wall-clock budget.
+
+    Worst-case-exponential searches (VF2 subgraph isomorphism, the
+    annealing placer) and per-item batch timeouts raise this instead of
+    hanging.  ``partial`` carries whatever results were accumulated
+    before the budget ran out (a list of isomorphisms, a partial
+    :class:`~repro.primitives.matcher.AnnotationResult`, a best-so-far
+    :class:`~repro.layout.anneal.AnnealResult`, ...) so callers can
+    degrade gracefully instead of losing everything.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        steps: int | None = None,
+        elapsed: float | None = None,
+        partial: object | None = None,
+    ):
+        super().__init__(message)
+        self.steps = steps
+        self.elapsed = elapsed
+        self.partial = partial

@@ -19,8 +19,10 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.hierarchy import HierarchyNode, NodeKind
+from repro.exceptions import BudgetExceeded
 from repro.layout.placer import Layout, place_hierarchy
 from repro.layout.wirelength import total_wirelength
+from repro.runtime.resilience import Budget
 from repro.spice.netlist import Circuit
 from repro.utils.rng import seeded_rng
 
@@ -108,11 +110,19 @@ def anneal_placement(
     root: HierarchyNode,
     circuit: Circuit,
     config: AnnealConfig | None = None,
+    budget: Budget | None = None,
 ) -> AnnealResult:
     """Refine the constructive placement by annealing orderings.
 
     Returns the best (lowest-HPWL) layout observed; the result always
     passes :meth:`~repro.layout.placer.Layout.verify`.
+
+    ``budget`` (a :class:`~repro.runtime.resilience.Budget`) bounds the
+    refinement in annealing steps and/or wall-clock.  On exhaustion
+    :class:`~repro.exceptions.BudgetExceeded` is raised with the
+    best-so-far :class:`AnnealResult` attached as ``exc.partial`` —
+    every intermediate state is a legal layout, so the partial result
+    is always usable.
     """
     config = config or AnnealConfig()
     rng = seeded_rng(("anneal", config.seed))
@@ -130,7 +140,23 @@ def anneal_placement(
     history = [cost]
     temperature = config.initial_temperature
 
+    def result() -> AnnealResult:
+        return AnnealResult(
+            layout=best_layout,
+            block_order=best_orders[0],
+            device_orders=best_orders[1],
+            initial_cost=initial_cost,
+            final_cost=best_cost,
+            history=history,
+        )
+
     for _step in range(config.steps):
+        if budget is not None:
+            try:
+                budget.tick(what="annealing placer")
+            except BudgetExceeded as exc:
+                exc.partial = result()
+                raise
         undo = state.random_move()
         new_cost, new_layout = cost_of_current()
         delta = new_cost - cost
@@ -147,11 +173,4 @@ def anneal_placement(
         history.append(cost)
         temperature *= config.cooling
 
-    return AnnealResult(
-        layout=best_layout,
-        block_order=best_orders[0],
-        device_orders=best_orders[1],
-        initial_cost=initial_cost,
-        final_cost=best_cost,
-        history=history,
-    )
+    return result()

@@ -22,13 +22,24 @@ consistency check and a one-look-ahead count.  For a pattern of O(1)
 size and degree the work per accepted vertex is O(1), giving the O(n)
 total the paper argues; ``benchmarks/bench_vf2_scaling.py`` measures
 exactly this.
+
+The O(n) argument holds for well-formed primitives, but VF2 is
+worst-case exponential (Sec. II-E), and a production service cannot
+let an adversarial or degenerate deck hang a worker.  ``find_all`` and
+:func:`find_subgraph_isomorphisms` therefore accept an optional
+:class:`~repro.runtime.resilience.Budget`: each search-tree node costs
+one step, and exhausting the budget raises
+:class:`~repro.exceptions.BudgetExceeded` with the matches found so
+far attached as ``exc.partial``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.exceptions import BudgetExceeded
 from repro.graph.bipartite import CircuitGraph
+from repro.runtime.resilience import Budget
 
 
 @dataclass
@@ -206,15 +217,28 @@ class VF2Matcher:
 
     # -- search -----------------------------------------------------------
 
-    def find_all(self, limit: int | None = None) -> list[Isomorphism]:
-        """Enumerate matches (optionally stopping after ``limit``)."""
+    def find_all(
+        self, limit: int | None = None, budget: Budget | None = None
+    ) -> list[Isomorphism]:
+        """Enumerate matches (optionally stopping after ``limit``).
+
+        ``budget`` bounds the search: one step per search-tree node.
+        On exhaustion, :class:`~repro.exceptions.BudgetExceeded` is
+        raised with the matches found so far as ``exc.partial``.
+        """
         self._results: list[Isomorphism] = []
         if self.prefilter is not None and not self.prefilter.is_feasible:
             return self._results  # some pattern vertex has no host at all
         self._limit = limit
+        self._budget = budget
         self._core_p: dict[int, int] = {}
         self._core_t: dict[int, int] = {}
-        self._search(0)
+        try:
+            self._search(0)
+        except BudgetExceeded as exc:
+            if exc.partial is None:
+                exc.partial = list(self._results)
+            raise
         return self._results
 
     def exists(self) -> bool:
@@ -254,6 +278,8 @@ class VF2Matcher:
         ]
 
     def _search(self, depth: int) -> None:
+        if self._budget is not None:
+            self._budget.tick(what="VF2 subgraph search")
         if self._limit is not None and len(self._results) >= self._limit:
             return
         if depth == len(self.order):
@@ -277,7 +303,15 @@ class VF2Matcher:
 
 
 def find_subgraph_isomorphisms(
-    pattern: PatternGraph, target: CircuitGraph, limit: int | None = None
+    pattern: PatternGraph,
+    target: CircuitGraph,
+    limit: int | None = None,
+    budget: Budget | None = None,
 ) -> list[Isomorphism]:
-    """Convenience wrapper around :class:`VF2Matcher`."""
-    return VF2Matcher(pattern, target).find_all(limit=limit)
+    """Convenience wrapper around :class:`VF2Matcher`.
+
+    ``budget`` (a :class:`~repro.runtime.resilience.Budget`) bounds the
+    search in steps and/or wall-clock; exhaustion raises
+    :class:`~repro.exceptions.BudgetExceeded` carrying partial results.
+    """
+    return VF2Matcher(pattern, target).find_all(limit=limit, budget=budget)

@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.constraints import Constraint
+from repro.exceptions import BudgetExceeded
 from repro.graph.bipartite import CircuitGraph
 from repro.primitives.isomorphism import Isomorphism, VF2Matcher
 from repro.primitives.library import PrimitiveLibrary, PrimitiveTemplate
+from repro.runtime.resilience import Budget
 
 
 @dataclass(frozen=True)
@@ -80,25 +82,38 @@ def find_primitive_matches(
     template: PrimitiveTemplate,
     target: CircuitGraph,
     target_index=None,
+    budget: Budget | None = None,
 ) -> list[PrimitiveMatch]:
     """All predicate-respecting, deduplicated matches of one template.
 
     ``target_index`` (a :class:`repro.primitives.signatures.TargetIndex`)
     shares the signature tables across templates of one circuit.
+    ``budget`` bounds the underlying VF2 search; on exhaustion the
+    raised :class:`~repro.exceptions.BudgetExceeded` carries the
+    deduplicated matches translated so far as ``exc.partial``.
     """
     matcher = VF2Matcher(template.pattern, target, target_index=target_index)
-    matches: list[PrimitiveMatch] = []
-    seen: set[frozenset[str]] = set()
-    for iso in matcher.find_all():
-        match = _match_from_isomorphism(template, target, iso)
-        if match is None:
-            continue
-        key = match.elements
-        if key in seen:
-            continue  # automorphic duplicate (e.g. DP arm swap)
-        seen.add(key)
-        matches.append(match)
-    return matches
+
+    def translate(isos: list[Isomorphism]) -> list[PrimitiveMatch]:
+        matches: list[PrimitiveMatch] = []
+        seen: set[frozenset[str]] = set()
+        for iso in isos:
+            match = _match_from_isomorphism(template, target, iso)
+            if match is None:
+                continue
+            key = match.elements
+            if key in seen:
+                continue  # automorphic duplicate (e.g. DP arm swap)
+            seen.add(key)
+            matches.append(match)
+        return matches
+
+    try:
+        isos = matcher.find_all(budget=budget)
+    except BudgetExceeded as exc:
+        exc.partial = translate(exc.partial or [])
+        raise
+    return translate(isos)
 
 
 @dataclass
@@ -132,30 +147,53 @@ def annotate_primitives(
     target: CircuitGraph,
     library: PrimitiveLibrary,
     allow_overlap: bool = False,
+    budget: Budget | None = None,
 ) -> AnnotationResult:
     """Recognize every primitive in ``target``.
 
     Default behaviour claims each device for at most one primitive,
     visiting templates largest-first; ``allow_overlap=True`` reports
     every match regardless (useful for analysis/tests).
+
+    ``budget`` is shared across all templates, bounding the *total*
+    matching work for the circuit; on exhaustion the raised
+    :class:`~repro.exceptions.BudgetExceeded` carries the partial
+    :class:`AnnotationResult` (matches accepted before the cutoff, plus
+    the partial matches of the interrupted template) as ``exc.partial``.
     """
     from repro.primitives.signatures import TargetIndex
 
     result = AnnotationResult()
     claimed: set[str] = set()
     all_matched: set[str] = set()
+
+    def accept(match: PrimitiveMatch) -> None:
+        nonlocal claimed, all_matched
+        elements = match.elements
+        if not allow_overlap and elements & claimed:
+            return
+        result.matches.append(match)
+        all_matched |= elements
+        if not allow_overlap:
+            claimed |= elements
+
+    def finish() -> AnnotationResult:
+        covered = claimed if not allow_overlap else all_matched
+        result.unclaimed = [
+            dev.name for dev in target.elements if dev.name not in covered
+        ]
+        return result
+
     index = TargetIndex.build(target)
-    for template in library.by_size_desc():
-        for match in find_primitive_matches(template, target, index):
-            elements = match.elements
-            if not allow_overlap and elements & claimed:
-                continue
-            result.matches.append(match)
-            all_matched |= elements
-            if not allow_overlap:
-                claimed |= elements
-    covered = claimed if not allow_overlap else all_matched
-    result.unclaimed = [
-        dev.name for dev in target.elements if dev.name not in covered
-    ]
-    return result
+    try:
+        for template in library.by_size_desc():
+            for match in find_primitive_matches(
+                template, target, index, budget=budget
+            ):
+                accept(match)
+    except BudgetExceeded as exc:
+        for match in exc.partial or []:
+            accept(match)
+        exc.partial = finish()
+        raise
+    return finish()

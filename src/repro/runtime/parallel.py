@@ -1,4 +1,5 @@
-"""Process-pool ``parallel_map`` with chunking and a serial fallback.
+"""Process-pool ``parallel_map`` with chunking, retries, and a serial
+fallback.
 
 The GANA flow has three embarrassingly parallel loops: synthetic
 dataset generation, cross-validation folds, and fleet-scale batch
@@ -8,24 +9,49 @@ annotation.  All three funnel through :func:`parallel_map`, which
   environment variable, or ``os.cpu_count()`` (in that order),
 * preserves input order in the result list regardless of completion
   order (``ProcessPoolExecutor.map`` semantics),
-* chunks items so per-task IPC overhead amortizes, and
+* chunks items so per-task IPC overhead amortizes,
+* retries transient pool failures (a killed/OOMed worker breaks the
+  whole pool) with exponential backoff before giving up on the pool,
+  and
 * falls back to a plain serial loop when only one worker is available,
   when the item list is tiny, or when the pool cannot be used at all
   (unpicklable payloads, sandboxed environments without ``fork``) —
-  results are identical either way, only wall-clock differs.
+  results are identical either way, only wall-clock differs.  The
+  fallback is *logged* with the original pool failure (logger
+  ``repro.runtime.parallel``), and if the serial rerun itself fails,
+  the pool failure is chained in as the exception's ``__cause__`` so
+  batch failures stay debuggable.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "GANA_WORKERS"
+
+#: Pool failures worth retrying: a crashed worker (OOM-kill, segfault,
+#: ``os._exit``) breaks the executor, but a fresh pool usually works.
+TRANSIENT_POOL_ERRORS = (BrokenProcessPool, OSError)
+
+#: Pool failures that will never succeed on retry (unpicklable payloads,
+#: missing multiprocessing support) — go straight to the serial path.
+_FATAL_POOL_ERRORS = (
+    ValueError,
+    TypeError,
+    AttributeError,
+    ImportError,
+    pickle.PicklingError,
+)
+
+_LOG = logging.getLogger(__name__)
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -53,13 +79,19 @@ def parallel_map(
     chunksize: int | None = None,
     initializer: Callable[..., None] | None = None,
     initargs: Sequence[Any] = (),
+    pool_retries: int = 1,
+    backoff: float = 0.2,
 ) -> list[Any]:
     """``[fn(x) for x in items]``, possibly across a process pool.
 
     The result order always matches the input order.  ``fn`` (and the
-    items) must be picklable for the pool path; if pool setup or
-    execution fails for an infrastructure reason, the map silently
-    reruns serially, so callers never need a try/except of their own.
+    items) must be picklable for the pool path.  Transient pool
+    failures (a worker killed mid-batch) are retried ``pool_retries``
+    times with exponential backoff (``backoff * 2**attempt`` seconds);
+    ``fn`` must therefore be effectively pure, since a retry recomputes
+    the whole batch.  If the pool stays unusable the map reruns
+    serially, logging the original pool failure — callers get the same
+    values either way.
 
     ``initializer(*initargs)`` runs once per worker (pool path) or once
     up front (serial path) — use it to install heavyweight shared state
@@ -70,25 +102,56 @@ def parallel_map(
     if n_workers <= 1 or len(items) <= 1:
         return _serial_map(fn, items, initializer, initargs)
     chunksize = chunksize or default_chunksize(len(items), n_workers)
+
+    pool_failure: BaseException | None = None
+    for attempt in range(max(0, pool_retries) + 1):
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=initializer,
+                initargs=tuple(initargs),
+            ) as pool:
+                return list(pool.map(fn, items, chunksize=chunksize))
+        except _FATAL_POOL_ERRORS as exc:
+            pool_failure = exc
+            _LOG.warning(
+                "process pool unusable (%s: %s); falling back to the "
+                "serial path",
+                type(exc).__name__,
+                exc,
+            )
+            break
+        except TRANSIENT_POOL_ERRORS as exc:
+            pool_failure = exc
+            if attempt < pool_retries:
+                delay = backoff * (2**attempt)
+                _LOG.warning(
+                    "process pool failed (%s: %s); rebuilding and "
+                    "retrying in %.2gs (attempt %d of %d)",
+                    type(exc).__name__,
+                    exc,
+                    delay,
+                    attempt + 1,
+                    pool_retries,
+                )
+                time.sleep(delay)
+            else:
+                _LOG.warning(
+                    "process pool failed %d time(s) (%s: %s); falling "
+                    "back to the serial path",
+                    attempt + 1,
+                    type(exc).__name__,
+                    exc,
+                )
+
     try:
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=initializer,
-            initargs=tuple(initargs),
-        ) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (
-        OSError,
-        ValueError,
-        TypeError,
-        AttributeError,
-        ImportError,
-        pickle.PicklingError,
-        BrokenProcessPool,
-    ):
-        # Pool unavailable (sandbox, missing sem support) or payload
-        # unpicklable — the serial path computes the same values.
         return _serial_map(fn, items, initializer, initargs)
+    except Exception as exc:
+        if pool_failure is not None and exc.__cause__ is None:
+            # Surface the pool failure alongside the serial one —
+            # "silently swallowed the pool error" is undebuggable.
+            raise exc from pool_failure
+        raise
 
 
 def _serial_map(fn, items, initializer, initargs) -> list[Any]:

@@ -34,6 +34,7 @@ def _flatten_into(
     depth: int,
     stack: tuple[str, ...],
     multiplier: float = 1.0,
+    diagnostics: list | None = None,
 ) -> None:
     if depth > MAX_DEPTH:
         raise ElaborationError(
@@ -55,16 +56,31 @@ def _flatten_into(
         out.add(renamed)
 
     for inst in circuit.instances:
-        if inst.subckt in stack:
-            raise ElaborationError(
-                f"recursive instantiation of {inst.subckt!r} via {stack}"
+        try:
+            if inst.subckt in stack:
+                raise ElaborationError(
+                    f"recursive instantiation of {inst.subckt!r} via {stack}"
+                )
+            child = netlist.subckt(inst.subckt)
+            if len(child.ports) != len(inst.nets):
+                raise ElaborationError(
+                    f"instance {prefix}{inst.name}: {inst.subckt!r} has "
+                    f"{len(child.ports)} ports but {len(inst.nets)} nets given"
+                )
+        except ElaborationError as exc:
+            if diagnostics is None:
+                raise
+            from repro.runtime.resilience import ERROR, Diagnostic
+
+            diagnostics.append(
+                Diagnostic(
+                    severity=ERROR,
+                    message=str(exc),
+                    card=f"{prefix}{inst.name}",
+                    hint="instance skipped during lenient elaboration",
+                )
             )
-        child = netlist.subckt(inst.subckt)
-        if len(child.ports) != len(inst.nets):
-            raise ElaborationError(
-                f"instance {prefix}{inst.name}: {inst.subckt!r} has "
-                f"{len(child.ports)} ports but {len(inst.nets)} nets given"
-            )
+            continue
         child_map = {
             port: resolve(net) for port, net in zip(child.ports, inst.nets)
         }
@@ -78,6 +94,7 @@ def _flatten_into(
             depth=depth + 1,
             stack=stack + (inst.subckt,),
             multiplier=multiplier * inst_mult,
+            diagnostics=diagnostics,
         )
 
 
@@ -109,11 +126,20 @@ def _apply_multiplier(dev, multiplier: float):
     return dev
 
 
-def flatten(netlist: Netlist) -> Circuit:
+def flatten(netlist: Netlist, diagnostics: list | None = None) -> Circuit:
     """Expand all subcircuit instances into one flat circuit.
 
     The result has the same ports as the input top level and contains
     only leaf :class:`~repro.spice.netlist.Device` cards.
+
+    With ``diagnostics`` given (a list of
+    :class:`~repro.runtime.resilience.Diagnostic` records), elaboration
+    errors on an instance — undefined subcircuit, port-arity mismatch,
+    recursive instantiation — are recorded there and the instance is
+    *skipped* instead of aborting the whole deck (lenient mode).  A
+    hierarchy deeper than :data:`MAX_DEPTH` still raises in both modes:
+    it means runaway recursion, and there is no partial answer worth
+    keeping.
     """
     out = Circuit(name=netlist.top.name, ports=netlist.top.ports)
     _flatten_into(
@@ -124,6 +150,7 @@ def flatten(netlist: Netlist) -> Circuit:
         out=out,
         depth=0,
         stack=(),
+        diagnostics=diagnostics,
     )
     return out
 

@@ -9,11 +9,20 @@ clean logical lines:
   we lower-case uniformly because net/device identity in this package is
   case-insensitive, matching common simulators,
 * ``name=value`` parameter tokens are kept as single tokens.
+
+Each :class:`LogicalLine` records the 1-based physical line span it was
+assembled from (``number`` … ``end_number``), so parse diagnostics can
+point at the exact lines of a continuation-joined card.
+
+Passing a ``diagnostics`` list to :func:`lex` switches on error
+recovery: malformed physical lines are skipped and recorded as
+:class:`~repro.runtime.resilience.Diagnostic` entries instead of
+aborting the whole deck on the first bad character.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.exceptions import SpiceSyntaxError
 
@@ -24,11 +33,17 @@ class LogicalLine:
 
     number: int  # 1-based line number of the first physical line
     tokens: tuple[str, ...]
+    end_number: int = 0  # 1-based last physical line (0 = same as number)
 
     @property
     def card(self) -> str:
         """The leading token, lower-case (e.g. ``m1``, ``.subckt``)."""
         return self.tokens[0]
+
+    @property
+    def last_number(self) -> int:
+        """Last physical line of the statement (continuations included)."""
+        return self.end_number or self.number
 
 
 def _strip_comment(line: str) -> str:
@@ -56,7 +71,11 @@ def _tokenize(line: str) -> list[str]:
     while i < len(raw):
         if raw[i] == "=":
             if not tokens or i + 1 >= len(raw):
-                raise SpiceSyntaxError(f"dangling '=' in {line!r}")
+                raise SpiceSyntaxError(
+                    f"dangling '=' in {line!r}",
+                    hint="parameter assignments need both a name and a "
+                    "value (name=value)",
+                )
             tokens[-1] = f"{tokens[-1]}={raw[i + 1]}"
             i += 2
         else:
@@ -65,7 +84,23 @@ def _tokenize(line: str) -> list[str]:
     return tokens
 
 
-def lex(text: str) -> list[LogicalLine]:
+@dataclass
+class _Pending:
+    """A logical line being assembled across continuation lines."""
+
+    number: int
+    tokens: list[str]
+    end_number: int = field(default=0)
+
+    def finish(self) -> LogicalLine:
+        return LogicalLine(
+            self.number,
+            tuple(t.lower() for t in self.tokens),
+            end_number=self.end_number or self.number,
+        )
+
+
+def lex(text: str, diagnostics: list | None = None) -> list[LogicalLine]:
     """Tokenize a SPICE deck into logical lines.
 
     The first line of a SPICE deck is traditionally a title; it is kept
@@ -75,11 +110,26 @@ def lex(text: str) -> list[LogicalLine]:
     only assumed when the first line starts with neither a dot, a
     letter-digit device pattern, nor a comment*.  In practice all decks
     in this package begin with ``* comment`` or ``.title``.
+
+    With ``diagnostics`` given (a list), tokenization errors on a
+    physical line are recorded there and the line is skipped — lenient
+    mode.  Without it, the first error raises
+    :class:`~repro.exceptions.SpiceSyntaxError` with its line number.
     """
     physical = text.splitlines()
     logical: list[LogicalLine] = []
-    pending: list[str] | None = None
-    pending_number = 0
+    pending: _Pending | None = None
+
+    def tokens_of(fragment: str, number: int) -> list[str] | None:
+        try:
+            return _tokenize(fragment)
+        except SpiceSyntaxError as exc:
+            if diagnostics is None:
+                raise SpiceSyntaxError(exc.message, number, hint=exc.hint)
+            from repro.runtime.resilience import diagnostic_from_error
+
+            diagnostics.append(diagnostic_from_error(exc, line=number))
+            return None
 
     for number, line in enumerate(physical, start=1):
         stripped = line.strip()
@@ -90,13 +140,28 @@ def lex(text: str) -> list[LogicalLine]:
             continue
         if stripped.startswith("+"):
             if pending is None:
-                raise SpiceSyntaxError("continuation with no previous line", number)
-            pending.extend(_tokenize(stripped[1:]))
+                error = SpiceSyntaxError(
+                    "continuation with no previous line",
+                    number,
+                    hint="a '+' line must follow the card it continues",
+                )
+                if diagnostics is None:
+                    raise error
+                from repro.runtime.resilience import diagnostic_from_error
+
+                diagnostics.append(diagnostic_from_error(error))
+                continue
+            extra = tokens_of(stripped[1:], number)
+            if extra is not None:
+                pending.tokens.extend(extra)
+                pending.end_number = number
             continue
         if pending is not None:
-            logical.append(LogicalLine(pending_number, tuple(t.lower() for t in pending)))
-        pending = _tokenize(stripped)
-        pending_number = number
+            logical.append(pending.finish())
+            pending = None
+        tokens = tokens_of(stripped, number)
+        if tokens:
+            pending = _Pending(number=number, tokens=tokens)
     if pending is not None:
-        logical.append(LogicalLine(pending_number, tuple(t.lower() for t in pending)))
+        logical.append(pending.finish())
     return logical

@@ -209,6 +209,9 @@ class Netlist:
     subckts: dict[str, Circuit] = field(default_factory=dict)
     models: dict[str, DeviceKind] = field(default_factory=dict)
     globals_: tuple[str, ...] = ()
+    #: Lenient-mode parse problems (``repro.runtime.resilience.Diagnostic``
+    #: records); always empty after a successful strict parse.
+    diagnostics: list = field(default_factory=list)
 
     def subckt(self, name: str) -> Circuit:
         """Case-insensitive subcircuit lookup."""

@@ -162,3 +162,96 @@ class TestExportDir:
         assert (out_dir / "graph.dot").exists()
         payload = json.loads((out_dir / "constraints.json").read_text())
         assert isinstance(payload, list)
+
+
+class TestErrorHandling:
+    """ISSUE 2 satellite: GanaError → one-line diagnostic, non-zero exit."""
+
+    BAD_DECK = "* corrupted\nm1 n1 inp vss nmos\n.end\n"
+
+    @pytest.fixture()
+    def bad_path(self, tmp_path):
+        path = tmp_path / "bad.sp"
+        path.write_text(self.BAD_DECK)
+        return path
+
+    @pytest.fixture()
+    def quick_model(self, tmp_path, monkeypatch):
+        import repro.datasets.synth as synth
+
+        original = synth.pretrain_annotator
+        monkeypatch.setattr(
+            synth,
+            "pretrain_annotator",
+            lambda task, quick=True, seed=0, **kw: original(
+                task, quick=quick, seed=seed, train_size=16
+            ),
+        )
+        model_path = tmp_path / "m.npz"
+        main(["train", "--task", "ota", "--quick", "--out", str(model_path)])
+        return model_path
+
+    def test_strict_error_is_one_line_with_line_number(
+        self, bad_path, quick_model, capsys
+    ):
+        code = main(
+            ["annotate", str(bad_path), "--task", "ota",
+             "--model", str(quick_model)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        error_lines = [l for l in err.splitlines() if l.startswith("error:")]
+        assert len(error_lines) == 1
+        assert "SpiceSyntaxError" in error_lines[0]
+        assert "line 2" in error_lines[0]
+        assert "hint" in error_lines[0]
+
+    def test_lenient_recovers_and_reports(
+        self, bad_path, quick_model, capsys
+    ):
+        code = main(
+            ["annotate", str(bad_path), "--task", "ota",
+             "--model", str(quick_model), "--lenient"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "line 2" in err  # diagnostic surfaced on stderr
+
+    def test_strict_and_lenient_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["annotate", "x.sp", "--strict", "--lenient"]
+            )
+
+    def test_lenient_json_carries_diagnostics(
+        self, bad_path, quick_model, capsys
+    ):
+        code = main(
+            ["annotate", str(bad_path), "--task", "ota",
+             "--model", str(quick_model), "--lenient", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"]
+        assert payload["diagnostics"][0]["line"] == 2
+
+    def test_lenient_batch_isolates_failures(
+        self, tmp_path, deck_path, quick_model, capsys
+    ):
+        # A >64-deep hierarchy trips flatten's MAX_DEPTH guard, which
+        # raises even in lenient mode — a genuine per-deck failure.
+        deep = "".join(
+            f".subckt c{i} p\nx1 p c{i + 1}\n.ends\n" for i in range(70)
+        ) + ".subckt c70 p\nr1 p 0 1k\n.ends\nx0 n c0\n.end\n"
+        poisoned = tmp_path / "deep.sp"
+        poisoned.write_text(deep)
+        code = main(
+            ["annotate", str(deck_path), str(poisoned), "--task", "ota",
+             "--model", str(quick_model), "--lenient", "--workers", "1"]
+        )
+        assert code == 1  # one deck failed → non-zero exit
+        captured = capsys.readouterr()
+        assert "failed in stage" in captured.err
+        assert "deep" in captured.err
+        # The healthy deck was still annotated.
+        assert str(deck_path) in captured.out

@@ -1,0 +1,168 @@
+"""Search budgets: VF2, primitive matching, and the annealing placer
+stop when told to, raising ``BudgetExceeded`` with partial results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import BudgetExceeded
+from repro.layout.anneal import AnnealConfig, AnnealResult, anneal_placement
+from repro.primitives.isomorphism import find_subgraph_isomorphisms
+from repro.primitives.library import extended_library
+from repro.primitives.matcher import (
+    AnnotationResult,
+    annotate_primitives,
+    find_primitive_matches,
+)
+from repro.runtime.resilience import Budget, time_limit
+from tests.layout.test_anneal import _fixture as anneal_fixture
+
+
+def _mirror_template():
+    library = extended_library()
+    for template in library:
+        if template.name.startswith("CM-N"):
+            return template
+    raise AssertionError("no NMOS current mirror in the library")
+
+
+class TestBudget:
+    def test_tick_raises_past_max_steps(self):
+        budget = Budget(max_steps=3)
+        for _ in range(3):
+            budget.tick()
+        with pytest.raises(BudgetExceeded) as info:
+            budget.tick()
+        assert info.value.steps == 4
+
+    def test_wall_clock_limit(self):
+        budget = Budget(max_seconds=0.01)
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceeded, match="time budget"):
+            budget.tick()
+
+    def test_exceeded_is_non_raising(self):
+        budget = Budget(max_steps=1)
+        assert not budget.exceeded()
+        budget.steps = 5
+        assert budget.exceeded()
+
+    def test_unlimited_budget_never_raises(self):
+        budget = Budget()
+        for _ in range(10_000):
+            budget.tick()
+
+
+class TestVf2Budget:
+    def test_search_honors_step_budget(self, diff_ota_graph):
+        template = _mirror_template()
+        with pytest.raises(BudgetExceeded) as info:
+            find_subgraph_isomorphisms(
+                template.pattern, diff_ota_graph, budget=Budget(max_steps=2)
+            )
+        # Partial results are always attached (possibly an empty list).
+        assert isinstance(info.value.partial, list)
+
+    def test_generous_budget_changes_nothing(self, diff_ota_graph):
+        template = _mirror_template()
+        unbounded = find_subgraph_isomorphisms(template.pattern, diff_ota_graph)
+        bounded = find_subgraph_isomorphisms(
+            template.pattern, diff_ota_graph, budget=Budget(max_steps=100_000)
+        )
+        assert bounded == unbounded
+        assert len(unbounded) > 0
+
+    def test_partial_results_are_a_prefix(self, diff_ota_graph):
+        template = _mirror_template()
+        full = find_subgraph_isomorphisms(template.pattern, diff_ota_graph)
+        # Walk the budget up until the search first survives; every
+        # earlier failure must carry a prefix of the full result set.
+        for steps in range(1, 100_000):
+            try:
+                got = find_subgraph_isomorphisms(
+                    template.pattern,
+                    diff_ota_graph,
+                    budget=Budget(max_steps=steps),
+                )
+            except BudgetExceeded as exc:
+                assert exc.partial == full[: len(exc.partial)]
+            else:
+                assert got == full
+                break
+
+
+class TestMatcherBudget:
+    def test_find_matches_budget(self, diff_ota_graph):
+        template = _mirror_template()
+        with pytest.raises(BudgetExceeded) as info:
+            find_primitive_matches(
+                template, diff_ota_graph, budget=Budget(max_steps=2)
+            )
+        assert isinstance(info.value.partial, list)
+
+    def test_annotate_primitives_shared_budget(self, diff_ota_graph):
+        library = extended_library()
+        with pytest.raises(BudgetExceeded) as info:
+            annotate_primitives(
+                diff_ota_graph, library, budget=Budget(max_steps=5)
+            )
+        partial = info.value.partial
+        assert isinstance(partial, AnnotationResult)
+        # Every device is accounted for: matched or reported unclaimed.
+        names = {d.name for d in diff_ota_graph.elements}
+        assert partial.claimed | set(partial.unclaimed) == names
+
+    def test_annotate_primitives_generous_budget(self, diff_ota_graph):
+        library = extended_library()
+        unbounded = annotate_primitives(diff_ota_graph, library)
+        bounded = annotate_primitives(
+            diff_ota_graph, library, budget=Budget(max_steps=1_000_000)
+        )
+        assert bounded.matches == unbounded.matches
+
+
+class TestAnnealBudget:
+    def test_budget_interrupts_with_partial_layout(self):
+        root, circuit = anneal_fixture()
+        with pytest.raises(BudgetExceeded) as info:
+            anneal_placement(
+                root,
+                circuit,
+                AnnealConfig(steps=200),
+                budget=Budget(max_steps=10),
+            )
+        partial = info.value.partial
+        assert isinstance(partial, AnnealResult)
+        partial.layout.verify()  # every intermediate state is legal
+        assert partial.final_cost <= partial.initial_cost + 1e-9
+
+    def test_generous_budget_matches_unbudgeted(self):
+        root, circuit = anneal_fixture()
+        config = AnnealConfig(steps=40)
+        plain = anneal_placement(root, circuit, config)
+        budgeted = anneal_placement(
+            root, circuit, config, budget=Budget(max_steps=10_000)
+        )
+        assert budgeted.final_cost == plain.final_cost
+        assert budgeted.history == plain.history
+
+
+class TestTimeLimit:
+    def test_interrupts_a_hang(self):
+        with pytest.raises(BudgetExceeded, match="wall-clock"):
+            with time_limit(0.05, what="test hang"):
+                time.sleep(5)
+
+    def test_no_op_without_limit(self):
+        with time_limit(None):
+            pass
+        with time_limit(0):
+            pass
+
+    def test_timer_is_cleared_after_block(self):
+        with time_limit(0.5):
+            pass
+        time.sleep(0.6)  # would SIGALRM-kill the test if still armed

@@ -1,0 +1,93 @@
+"""Graceful degradation: when GCN inference dies (or is too unsure),
+``GanaPipeline.run`` falls back to the template-library classifier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import GanaPipeline
+from repro.datasets.ota import generate_ota, ota_variants
+from repro.spice.writer import write_circuit
+
+OTA_CLASSES = ("ota", "bias")
+
+
+class _BrokenAnnotator:
+    """Annotator whose inference always dies (e.g. corrupted weights)."""
+
+    class_names = OTA_CLASSES
+
+    def annotate(self, graph, net_roles=None):
+        raise RuntimeError("weights corrupted")
+
+
+@pytest.fixture(scope="module")
+def deck():
+    spec = ota_variants(1, seed="degradation")[0]
+    return write_circuit(generate_ota(spec, name="victim").circuit)
+
+
+@pytest.fixture(scope="module")
+def pipeline(quick_ota_annotator):
+    return GanaPipeline(annotator=quick_ota_annotator)
+
+
+class TestDegradation:
+    def test_gcn_failure_falls_back(self, deck):
+        pipeline = GanaPipeline(annotator=_BrokenAnnotator())
+        result = pipeline.run(deck)
+        assert result.degraded
+        assert "GCN inference failed" in result.degraded_reason
+        assert "RuntimeError" in result.degraded_reason
+        # The fallback still produces a usable annotation over the
+        # task's vocabulary.
+        classes = set(result.annotation.element_classes.values())
+        assert classes <= set(OTA_CLASSES) | {"?"}
+        assert result.hierarchy is not None
+
+    def test_degrade_false_propagates(self, deck):
+        pipeline = GanaPipeline(annotator=_BrokenAnnotator(), degrade=False)
+        with pytest.raises(RuntimeError, match="weights corrupted"):
+            pipeline.run(deck)
+
+    def test_healthy_run_is_not_degraded(self, pipeline, deck):
+        result = pipeline.run(deck)
+        assert not result.degraded
+        assert result.degraded_reason is None
+
+    def test_confidence_floor_triggers_fallback(self, quick_ota_annotator, deck):
+        # An unattainable floor (softmax tops out at 1.0) forces the
+        # "all vertices below the floor" path.
+        pipeline = GanaPipeline(
+            annotator=quick_ota_annotator, confidence_floor=1.5
+        )
+        result = pipeline.run(deck)
+        assert result.degraded
+        assert "confidence below" in result.degraded_reason
+
+    def test_confidence_floor_zero_disables_check(
+        self, quick_ota_annotator, deck
+    ):
+        pipeline = GanaPipeline(
+            annotator=quick_ota_annotator, confidence_floor=0.0
+        )
+        assert not pipeline.run(deck).degraded
+
+    def test_fallback_recognizer_is_cached(self, deck):
+        pipeline = GanaPipeline(annotator=_BrokenAnnotator())
+        assert pipeline.fallback_recognizer is None
+        pipeline.run(deck)
+        first = pipeline.fallback_recognizer
+        assert first is not None
+        pipeline.run(deck)
+        assert pipeline.fallback_recognizer is first
+
+    def test_degraded_probabilities_are_one_hot(self, deck):
+        pipeline = GanaPipeline(annotator=_BrokenAnnotator())
+        result = pipeline.run(deck)
+        probs = result.gcn_annotation.probabilities
+        assert probs is not None
+        assert probs.shape[1] == len(OTA_CLASSES)
+        assert ((probs == 0.0) | (probs == 1.0)).all()
+        assert (probs.sum(axis=1) == 1.0).all()

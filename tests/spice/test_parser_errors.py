@@ -1,0 +1,188 @@
+"""Parser/elaboration error paths, parametrized over strict and
+lenient modes.
+
+Strict mode must raise ``SpiceSyntaxError``/``ElaborationError`` with a
+line number and fix hint; lenient mode must recover, reporting *every*
+problem as a ``Diagnostic`` with the correct 1-based line span.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ElaborationError, SpiceSyntaxError
+from repro.runtime.resilience import ERROR
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+
+#: (deck, offending line, message fragment) triples covering the
+#: parser's raise sites.
+MALFORMED_CARDS = [
+    ("* t\nm1 n1 inp vss nmos\n.end\n", 2, "MOS card"),
+    ("* t\nr1 a\n.end\n", 2, "resistor card"),
+    ("* t\nc1 x\n.end\n", 2, "capacitor card"),
+    ("* t\nx1\n.end\n", 2, "X card"),
+    ("* t\nq1 a b c npn\n.end\n", 2, "unsupported device card"),
+    ("* t\n.fakecard 1 2\n.end\n", 2, "unsupported card"),
+    ("* t\n.model mymod\n.end\n", 2, ".model card needs"),
+    ("* t\n.subckt\n.end\n", 2, ".subckt needs a name"),
+    ("* t\n.ends\n.end\n", 2, ".ends without .subckt"),
+    ("* t\nm1 d g s b unknownmodel\n.end\n", 2, "polarity"),
+]
+
+#: Three independent problems on lines 2, 4, and 6.
+MULTI_ERROR_DECK = """* several problems
+m1 n1 inp vss nmos
+r1 a b 1k
+c7 x
+m2 d g s b nmos
+q9 a b c npn
+.end
+"""
+
+
+class TestStrictMode:
+    @pytest.mark.parametrize("deck,line,fragment", MALFORMED_CARDS)
+    def test_raises_with_line_number(self, deck, line, fragment):
+        with pytest.raises(SpiceSyntaxError, match=fragment) as info:
+            parse_netlist(deck, mode="strict")
+        assert info.value.line == line
+        assert info.value.hint  # every raise site suggests a fix
+        assert f"line {line}" in str(info.value)
+
+    def test_stops_at_first_error(self):
+        with pytest.raises(SpiceSyntaxError) as info:
+            parse_netlist(MULTI_ERROR_DECK, mode="strict")
+        assert info.value.line == 2
+
+    def test_unterminated_subckt(self):
+        deck = ".subckt amp a b\nm1 d g s b nmos\n.end\n"
+        with pytest.raises(SpiceSyntaxError, match="unterminated"):
+            parse_netlist(deck, mode="strict")
+
+    def test_strict_is_the_default(self):
+        with pytest.raises(SpiceSyntaxError):
+            parse_netlist("r1 a\n.end\n")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            parse_netlist(".end\n", mode="permissive")
+
+
+class TestLenientMode:
+    @pytest.mark.parametrize("deck,line,fragment", MALFORMED_CARDS)
+    def test_recovers_with_diagnostic(self, deck, line, fragment):
+        netlist = parse_netlist(deck, mode="lenient")
+        assert len(netlist.diagnostics) == 1
+        diag = netlist.diagnostics[0]
+        assert diag.severity == ERROR
+        assert fragment in diag.message
+        assert diag.line == line
+
+    def test_collects_every_error_with_line_numbers(self):
+        netlist = parse_netlist(MULTI_ERROR_DECK, mode="lenient")
+        assert len(netlist.diagnostics) >= 3
+        assert [d.line for d in netlist.diagnostics] == [2, 4, 6]
+        # The healthy cards still made it through.
+        names = {d.name for d in netlist.top.devices}
+        assert names == {"r1", "m2"}
+
+    def test_unterminated_subckt_autocloses(self):
+        deck = ".subckt amp a b\nm1 d g s b nmos\n.end\n"
+        netlist = parse_netlist(deck, mode="lenient")
+        assert any(
+            "unterminated" in d.message for d in netlist.diagnostics
+        )
+        # The subckt keeps the devices parsed before the auto-close.
+        assert "amp" in netlist.subckts
+        assert {d.name for d in netlist.subckts["amp"].devices} == {"m1"}
+        assert netlist.top.devices == []
+
+    def test_continuation_span_is_recorded(self):
+        deck = "* t\nm1 n1 inp\n+ vss nmos\n.end\n"
+        netlist = parse_netlist(deck, mode="lenient")
+        [diag] = netlist.diagnostics
+        assert (diag.line, diag.end_line) == (2, 3)
+
+    def test_clean_deck_has_no_diagnostics(self):
+        netlist = parse_netlist(
+            "m1 d g s b nmos\nr1 a b 1k\n.end\n", mode="lenient"
+        )
+        assert netlist.diagnostics == []
+
+    def test_diagnostic_format_is_one_line(self):
+        netlist = parse_netlist("r1 a\n.end\n", mode="lenient")
+        [diag] = netlist.diagnostics
+        rendered = diag.format()
+        assert "\n" not in rendered
+        assert "line 1" in rendered
+        assert "hint" in rendered
+
+
+class TestIncludeErrors:
+    def test_missing_include_names_resolved_path(self, tmp_path):
+        deck = ".include missing.sp\n.end\n"
+        with pytest.raises(SpiceSyntaxError) as info:
+            parse_netlist(deck, include_dir=str(tmp_path))
+        message = str(info.value)
+        # The satellite bugfix: name both the resolved path and the
+        # include_dir it was resolved against.
+        assert str(tmp_path / "missing.sp") in message
+        assert f"include_dir={tmp_path}" in message
+        assert info.value.line == 1
+
+    def test_lenient_include_error_is_a_diagnostic(self, tmp_path):
+        deck = ".include missing.sp\nr1 a b 1k\n.end\n"
+        netlist = parse_netlist(
+            deck, include_dir=str(tmp_path), mode="lenient"
+        )
+        assert any(
+            "included file not found" in d.message
+            for d in netlist.diagnostics
+        )
+        assert {d.name for d in netlist.top.devices} == {"r1"}
+
+    def test_include_without_path(self, tmp_path):
+        with pytest.raises(SpiceSyntaxError, match="without a path"):
+            parse_netlist(".include\n.end\n", include_dir=str(tmp_path))
+
+
+class TestElaborationErrors:
+    UNDEFINED = "x1 a b nosuchcell\n.end\n"
+    ARITY = ".subckt inv in out\nm1 out in gnd! gnd! nmos\n.ends\nx1 a inv\n.end\n"
+
+    @pytest.mark.parametrize(
+        "deck,fragment",
+        [(UNDEFINED, "nosuchcell"), (ARITY, "ports")],
+        ids=["undefined-subckt", "port-arity"],
+    )
+    def test_strict_flatten_raises(self, deck, fragment):
+        netlist = parse_netlist(deck)
+        with pytest.raises(ElaborationError, match=fragment):
+            flatten(netlist)
+
+    @pytest.mark.parametrize(
+        "deck,fragment",
+        [(UNDEFINED, "nosuchcell"), (ARITY, "ports")],
+        ids=["undefined-subckt", "port-arity"],
+    )
+    def test_lenient_flatten_skips_instance(self, deck, fragment):
+        netlist = parse_netlist(deck, mode="lenient")
+        diagnostics = list(netlist.diagnostics)
+        flat = flatten(netlist, diagnostics=diagnostics)
+        assert any(fragment in d.message for d in diagnostics)
+        assert all(dev.name != "x1/m1" for dev in flat.devices)
+
+    def test_recursive_instantiation(self):
+        deck = (
+            ".subckt a x\nx1 x b\n.ends\n"
+            ".subckt b x\nx1 x a\n.ends\n"
+            "x0 n a\n.end\n"
+        )
+        netlist = parse_netlist(deck)
+        with pytest.raises(ElaborationError, match="recursive"):
+            flatten(netlist)
+        diagnostics: list = []
+        flat = flatten(netlist, diagnostics=diagnostics)
+        assert any("recursive" in d.message for d in diagnostics)
+        assert flat.devices == []
