@@ -185,6 +185,117 @@ def bench_runtime_model_cache(benchmark, tmp_path, monkeypatch):
     assert speedup >= 5.0
 
 
+#: post1 wall-clock on the phased array before the signature-index /
+#: CCC-scoping rework (commit 42ca62e's committed BENCH_runtime.json,
+#: quick scale, 1-CPU host) — the fixed reference the ≥5x tentpole
+#: speedup target is measured against.
+PRE_INDEX_POST1_SECONDS = 0.26375
+
+
+def bench_runtime_post1_matching(benchmark, pipelines):
+    """Primitive matching (post1): indexed hot path vs. naive VF2.
+
+    The indexed path (template profiles + signature candidate pruning +
+    per-CCC scoping + symmetry breaking) must produce *identical*
+    results to the naive reference path and beat the pre-index
+    baseline by ≥5x; the per-template profile shows where the
+    remaining time goes.
+    """
+    from repro.core.postprocess import postprocess_ccc
+    from repro.graph.ccc import channel_connected_components
+    from repro.runtime.profile import PipelineProfiler
+
+    _ota_pipe, rf_pipe = pipelines
+    system = phased_array()
+    run = rf_pipe.run(
+        system.circuit, port_labels=system.port_labels, name=system.name
+    )
+    annotation = run.gcn_annotation
+    partition = channel_connected_components(annotation.graph)
+
+    naive = postprocess_ccc(
+        annotation, rf_pipe.library, partition=partition, indexed=False
+    )
+    profiler = PipelineProfiler()
+    indexed = postprocess_ccc(
+        annotation,
+        rf_pipe.library,
+        partition=partition,
+        profiler=profiler,
+        indexed=True,
+    )
+    # Bit-identical annotations, match lists included.
+    assert (
+        naive.annotation.vertex_classes == indexed.annotation.vertex_classes
+    ).all()
+    assert naive.ccc_classes == indexed.ccc_classes
+    assert naive.ccc_matches == indexed.ccc_matches
+
+    def best_of(indexed_flag, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            postprocess_ccc(
+                annotation,
+                rf_pipe.library,
+                partition=partition,
+                indexed=indexed_flag,
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    naive_seconds = best_of(False)
+    indexed_seconds = best_of(True)
+
+    benchmark.pedantic(
+        lambda: postprocess_ccc(
+            annotation, rf_pipe.library, partition=partition, indexed=True
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    live_speedup = naive_seconds / max(indexed_seconds, 1e-9)
+    baseline_speedup = PRE_INDEX_POST1_SECONDS / max(indexed_seconds, 1e-9)
+    per_template = profiler.as_dict()["per_template"]
+    lines = [
+        f"naive full-setup VF2:     {naive_seconds:9.4f}s",
+        f"indexed + CCC-scoped:     {indexed_seconds:9.4f}s",
+        f"speedup (live naive):     {live_speedup:9.2f}x",
+        f"speedup (vs pre-index):   {baseline_speedup:9.2f}x"
+        f"  (baseline {PRE_INDEX_POST1_SECONDS}s)",
+        "",
+        "{:<12} {:>8} {:>8} {:>8} {:>10}".format(
+            "template", "launches", "matches", "skips", "seconds"
+        ),
+    ]
+    for name, stats in per_template.items():
+        lines.append(
+            "{:<12} {:>8} {:>8} {:>8} {:>9.4f}s".format(
+                name,
+                stats["launches"],
+                stats["matches"],
+                stats["skips"],
+                stats["seconds"],
+            )
+        )
+    write_result("runtime_post1_matching", "\n".join(lines))
+    update_bench_json(
+        "post1_matching",
+        {
+            "naive_seconds": naive_seconds,
+            "indexed_seconds": indexed_seconds,
+            "live_speedup": live_speedup,
+            "pre_index_baseline_seconds": PRE_INDEX_POST1_SECONDS,
+            "baseline_speedup": baseline_speedup,
+            "per_template": per_template,
+        },
+    )
+
+    assert live_speedup >= 2.0
+    assert baseline_speedup >= 5.0
+
+
 def bench_runtime_batch_annotation(benchmark, pipelines):
     """``run_many`` over 8 netlists vs. the serial loop.
 

@@ -75,8 +75,13 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         port_labels=port_labels,
         name=paths[0].stem,
         mode=mode,
+        profile=bool(args.profile),
     )
     _report_result_health(paths[0], result)
+
+    if args.profile:
+        Path(args.profile).write_text(json.dumps(result.profile, indent=2) + "\n")
+        print(f"wrote stage/template profile to {args.profile}", file=sys.stderr)
 
     if args.export_dir:
         from repro.core.export import (
@@ -156,7 +161,18 @@ def _annotate_batch(
         mode=mode,
         on_error="report" if mode == "lenient" else "raise",
         timeout=args.timeout,
+        profile=bool(args.profile),
     )
+    if args.profile:
+        payload = [
+            {
+                "netlist": str(path),
+                "profile": result.profile if result.ok else None,
+            }
+            for path, result in zip(paths, results)
+        ]
+        Path(args.profile).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote stage/template profiles to {args.profile}", file=sys.stderr)
     failures = 0
     for path, result in zip(paths, results):
         if not result.ok:
@@ -326,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout",
         type=float,
         help="per-deck wall-clock ceiling in seconds for batch annotation",
+    )
+    annotate.add_argument(
+        "--profile",
+        metavar="OUT.json",
+        help="write a stage/per-template profile of the run as JSON "
+        "(a list keyed by netlist in batch mode)",
     )
     annotate.set_defaults(func=_cmd_annotate)
 

@@ -76,6 +76,10 @@ class PipelineResult:
     constraints: ConstraintSet
     preprocess_report: PreprocessReport
     timings: dict[str, float] = field(default_factory=dict)
+    #: Structured profile (stages / per_template / counters) when the
+    #: run was invoked with ``profile=True``; plain dict so it pickles
+    #: across the ``run_many`` pool and JSON-serializes unchanged.
+    profile: dict | None = None
     #: Lenient-mode parse/elaboration problems for this input.
     diagnostics: list[Diagnostic] = field(default_factory=list)
     #: True when GCN inference failed (or fell below the confidence
@@ -280,8 +284,15 @@ class GanaPipeline:
         name: str = "",
         infer_testbench: bool = True,
         mode: str = "strict",
+        profile: bool = False,
     ) -> PipelineResult:
         """Execute the full flow on a SPICE deck / netlist / flat circuit.
+
+        ``profile=True`` attaches a structured profile to
+        :attr:`PipelineResult.profile`: per-stage wall-clock (the same
+        numbers as ``timings``) plus per-primitive-template matching
+        statistics from Postprocessing I (launches, matches, seconds,
+        kind-histogram skips) — see :mod:`repro.runtime.profile`.
 
         When the deck still contains its testbench sources and
         ``infer_testbench`` is on, antenna/oscillating port labels and
@@ -299,6 +310,11 @@ class GanaPipeline:
         timings: dict[str, float] = {}
         diagnostics: list[Diagnostic] = []
         lenient = mode == "lenient"
+        profiler = None
+        if profile:
+            from repro.runtime.profile import PipelineProfiler
+
+            profiler = PipelineProfiler()
 
         with stage("preprocess", timings, diagnostics):
             with stage("parse", diagnostics=diagnostics):
@@ -361,7 +377,10 @@ class GanaPipeline:
 
         with stage("post1", timings, diagnostics):
             post1 = postprocess_ccc(
-                gcn_annotation, self.library, detect_bpf=self.detect_bpf
+                gcn_annotation,
+                self.library,
+                detect_bpf=self.detect_bpf,
+                profiler=profiler,
             )
 
         with stage("post2", timings, diagnostics):
@@ -371,6 +390,12 @@ class GanaPipeline:
             hierarchy, constraints = build_hierarchy(
                 post2, system_name=name or flat.name
             )
+
+        profile_dict = None
+        if profiler is not None:
+            for stage_name, seconds in timings.items():
+                profiler.record_stage(stage_name, seconds)
+            profile_dict = profiler.as_dict()
 
         return PipelineResult(
             graph=graph,
@@ -384,6 +409,7 @@ class GanaPipeline:
             diagnostics=diagnostics,
             degraded=degraded_reason is not None,
             degraded_reason=degraded_reason,
+            profile=profile_dict,
         )
 
     # -- graceful degradation ---------------------------------------------
@@ -448,6 +474,7 @@ class GanaPipeline:
         on_error: str = "raise",
         timeout: float | None = None,
         pool_retries: int = 2,
+        profile: bool = False,
     ) -> list[PipelineResult | FailureReport]:
         """Annotate a fleet of netlists, in parallel where possible.
 
@@ -471,7 +498,8 @@ class GanaPipeline:
         ceiling in seconds (SIGALRM-based, see
         :func:`~repro.runtime.resilience.time_limit`); a deck that blows
         it becomes a ``BudgetExceeded`` failure for that item only.
-        ``mode`` is forwarded to :meth:`run`; ``pool_retries`` bounds
+        ``mode`` and ``profile`` are forwarded to :meth:`run` (each
+        result carries its own profile); ``pool_retries`` bounds
         retry-with-backoff when the worker pool itself dies a transient
         death (see :func:`repro.runtime.parallel.parallel_map`).
 
@@ -502,6 +530,7 @@ class GanaPipeline:
                     "name": names[i] if names else "",
                     "infer_testbench": infer_testbench,
                     "mode": mode,
+                    "profile": profile,
                 },
             }
             for i, netlist in enumerate(netlists)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,8 +41,11 @@ from repro.core.annotator import Annotation
 from repro.graph.bipartite import DRAIN_BIT, GATE_BIT, SOURCE_BIT, CircuitGraph
 from repro.graph.ccc import CCCPartition, channel_connected_components
 from repro.primitives.library import PrimitiveLibrary
-from repro.primitives.matcher import PrimitiveMatch, annotate_primitives
+from repro.primitives.matcher import PrimitiveMatch, annotate_components
 from repro.spice.netlist import is_power_net
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.profile import PipelineProfiler
 
 #: Primitives that may stand alone outside any sub-block (Post-I).
 #: Deliberately small: auxiliary digital-ish cells only.  Structures
@@ -68,20 +72,29 @@ class PostprocessResult:
 def _ccc_tallies(
     annotation: Annotation, partition: CCCPartition
 ) -> dict[int, np.ndarray]:
-    """Per-CCC probability tallies over the GCN classes."""
+    """Per-CCC probability tallies over the GCN classes.
+
+    One vectorized scatter-add over all elements (``np.add.at``), not a
+    Python loop per component member.
+    """
     n_gcn_classes = len(annotation.class_names)
-    tallies: dict[int, np.ndarray] = {}
-    for cid, members in enumerate(partition.components):
-        tally = np.zeros(n_gcn_classes)
-        for element in members:
-            if annotation.probabilities is not None:
-                tally += annotation.probabilities[element]
-            else:
-                cls = int(annotation.vertex_classes[element])
-                if 0 <= cls < n_gcn_classes:
-                    tally[cls] += 1.0
-        tallies[cid] = tally
-    return tallies
+    n_components = partition.n_components
+    tallies = np.zeros((n_components, n_gcn_classes))
+    if partition.of_element:
+        n = len(partition.of_element)
+        elements = np.fromiter(
+            partition.of_element.keys(), dtype=np.int64, count=n
+        )
+        cids = np.fromiter(
+            partition.of_element.values(), dtype=np.int64, count=n
+        )
+        if annotation.probabilities is not None:
+            np.add.at(tallies, cids, annotation.probabilities[elements])
+        else:
+            classes = annotation.vertex_classes[elements].astype(np.int64)
+            valid = (classes >= 0) & (classes < n_gcn_classes)
+            np.add.at(tallies, (cids[valid], classes[valid]), 1.0)
+    return {cid: tallies[cid] for cid in range(n_components)}
 
 
 def _ccc_vote(
@@ -126,27 +139,65 @@ def _relabel(
         annotation.vertex_classes[offset + net_local] = best
 
 
+def _element_owners(
+    graph: CircuitGraph, partition: CCCPartition
+) -> np.ndarray:
+    """Element index → component id array (−1 when unassigned)."""
+    owners = np.full(graph.n_elements, -1, dtype=np.int64)
+    for element, cid in partition.of_element.items():
+        owners[element] = cid
+    return owners
+
+
+def _power_net_mask(graph: CircuitGraph) -> np.ndarray:
+    """Boolean mask over local net indices: is this a power net?"""
+    return np.fromiter(
+        (is_power_net(net) for net in graph.nets),
+        dtype=bool,
+        count=graph.n_nets,
+    )
+
+
+def _ds_drivers(
+    graph: CircuitGraph, partition: CCCPartition
+) -> dict[int, set[int]]:
+    """Net (local index) → CCCs touching it via a drain/source edge.
+
+    Computed once per circuit and shared by every
+    :func:`_ccc_boundary_inputs` call — the old per-call O(E) rebuild
+    was one of the Postprocessing I hot spots.
+    """
+    element, net, label = graph.edge_arrays()
+    owners = _element_owners(graph, partition)
+    drivers: dict[int, set[int]] = defaultdict(set)
+    mask = (label & (DRAIN_BIT | SOURCE_BIT)).astype(bool) & (
+        owners[element] >= 0
+    )
+    for n, owner in zip(net[mask], owners[element[mask]]):
+        drivers[int(n)].add(int(owner))
+    return dict(drivers)
+
+
 def _ccc_boundary_inputs(
-    graph: CircuitGraph, partition: CCCPartition, cid: int
+    graph: CircuitGraph,
+    partition: CCCPartition,
+    cid: int,
+    drivers: dict[int, set[int]] | None = None,
 ) -> list[int]:
     """Transistors of CCC ``cid`` whose gate net is driven from outside.
 
     "Driven from outside" = the gate net touches another CCC through a
     drain/source edge and is not a power net.  These are the "input
-    transistors" of the BPF rule.
+    transistors" of the BPF rule.  Pass a precomputed ``drivers`` map
+    (:func:`_ds_drivers`) when calling for more than one component.
     """
     inputs: list[int] = []
     members = partition.components[cid]
-    # net -> set of CCCs touching it via drain/source
-    drivers: dict[int, set[int]] = defaultdict(set)
-    for edge in graph.edges:
-        if edge.label & (DRAIN_BIT | SOURCE_BIT):
-            owner = partition.of_element.get(edge.element)
-            if owner is not None:
-                drivers[edge.net].add(owner)
-    for edge in graph.edges:
-        if edge.element not in members:
-            continue
+    if drivers is None:
+        drivers = _ds_drivers(graph, partition)
+    by_element = graph.element_edge_lists()
+    member_edges = (edge for m in members for edge in by_element[m])
+    for edge in member_edges:
         if not (edge.label & GATE_BIT):
             continue
         net_name = graph.nets[edge.net]
@@ -178,27 +229,32 @@ def _mirror_clusters(
     other component is a mirror branch of that component; branch and
     owner belong to one functional unit and should be voted jointly.
     """
+    # Edge predicates as numpy masks over the cached edge arrays; only
+    # matching edges fall back to Python (dict/set insertion).
+    element, net, label = graph.edge_arrays()
+    owners = _element_owners(graph, partition)
+    edge_owner = owners[element]
+    is_gate = (label & GATE_BIT).astype(bool)
+    is_drain = (label & DRAIN_BIT).astype(bool)
+
     # Diode-connected transistors: a single edge carrying both the gate
-    # and drain bits.  Map their net to the owning CCC.
+    # and drain bits.  Map their net to the owning CCC (edge order, so
+    # the last diode edge on a net wins — same as the scalar loop).
     diode_net_owner: dict[int, int] = {}
-    for edge in graph.edges:
-        if (edge.label & GATE_BIT) and (edge.label & DRAIN_BIT):
-            owner = partition.of_element.get(edge.element)
-            if owner is not None:
-                diode_net_owner[edge.net] = owner
+    diode_mask = is_gate & is_drain & (edge_owner >= 0)
+    for n, owner in zip(net[diode_mask], edge_owner[diode_mask]):
+        diode_net_owner[int(n)] = int(owner)
 
     # Per-CCC: gate nets of transistors that are not self-diode.
     external_gates: dict[int, set[int]] = defaultdict(set)
-    for edge in graph.edges:
-        if not (edge.label & GATE_BIT) or (edge.label & DRAIN_BIT):
-            continue
-        owner = partition.of_element.get(edge.element)
-        if owner is None:
-            continue
-        net_name = graph.nets[edge.net]
-        if is_power_net(net_name):
-            continue
-        external_gates[owner].add(edge.net)
+    gate_mask = (
+        is_gate
+        & ~is_drain
+        & (edge_owner >= 0)
+        & ~_power_net_mask(graph)[net]
+    )
+    for n, owner in zip(net[gate_mask], edge_owner[gate_mask]):
+        external_gates[int(owner)].add(int(n))
 
     parent = list(range(partition.n_components))
 
@@ -274,20 +330,21 @@ def _absorb_orphans(
     are mirror roots (e.g. a bias current reference whose only fanout
     is the tail gate of one OTA) and stay their own functional unit.
     """
-    diode_owners: set[int] = set()
-    for edge in graph.edges:
-        if (edge.label & GATE_BIT) and (edge.label & DRAIN_BIT):
-            owner = partition.of_element.get(edge.element)
-            if owner is not None:
-                diode_owners.add(owner)
+    element, _net, label = graph.edge_arrays()
+    owners = _element_owners(graph, partition)
+    diode_mask = (
+        (label & GATE_BIT).astype(bool)
+        & (label & DRAIN_BIT).astype(bool)
+        & (owners[element] >= 0)
+    )
+    diode_owners = {int(o) for o in owners[element[diode_mask]]}
 
+    by_element = graph.element_edge_lists()
     for cid, members in enumerate(partition.components):
         if cid in protected or len(members) > max_size or cid in diode_owners:
             continue
         neighbors: set[int] = set()
-        for edge in graph.edges:
-            if edge.element not in members:
-                continue
+        for edge in (e for m in members for e in by_element[m]):
             if is_power_net(graph.nets[edge.net]):
                 continue
             neighbors |= partition.of_net.get(edge.net, set())
@@ -311,6 +368,8 @@ def postprocess_ccc(
     standalone_primitives: frozenset[str] | None = None,
     mirror_vote: bool = True,
     absorb_orphans: bool = True,
+    profiler: "PipelineProfiler | None" = None,
+    indexed: bool = True,
 ) -> PostprocessResult:
     """Postprocessing I: CCC vote, primitive annotation, stand-alone
     separation, BPF detection.  Returns a new annotation.
@@ -319,7 +378,11 @@ def postprocess_ccc(
     out as stand-alone units; by default the auxiliary INV/BUF cells
     are separated only when the annotation uses the RF vocabulary.
     ``mirror_vote`` and ``absorb_orphans`` toggle the two vote-repair
-    heuristics (exposed for the ablation benchmark).
+    heuristics (exposed for the ablation benchmark).  ``profiler``
+    collects per-template matching statistics; ``indexed=False``
+    selects the naive reference matcher (see
+    :mod:`repro.primitives.matcher`) — the annotation is identical
+    either way.
     """
     annotation = annotation.copy()
     graph = annotation.graph
@@ -337,9 +400,15 @@ def postprocess_ccc(
 
     rf_vocab = rf_vocab_early
 
+    component_matches = annotate_components(
+        graph, partition, library, profiler=profiler, indexed=indexed
+    )
+    ds_drivers = (
+        _ds_drivers(graph, partition) if detect_bpf and rf_vocab else None
+    )
+
     for cid, members in enumerate(partition.components):
-        subgraph = graph.subgraph_of_elements(members)
-        matches = annotate_primitives(subgraph, library)
+        matches = component_matches[cid]
         result.ccc_matches[cid] = matches.matches
 
         member_names = {graph.elements[i].name for i in members}
@@ -373,7 +442,9 @@ def postprocess_ccc(
             has_cc_pair = any(
                 m.primitive in ("CC-N", "CC-P") for m in matches.matches
             )
-            inputs = _ccc_boundary_inputs(graph, partition, cid)
+            inputs = _ccc_boundary_inputs(
+                graph, partition, cid, drivers=ds_drivers
+            )
             if has_cc_pair and inputs:
                 ccc_classes[cid] = annotation.class_id("bpf", create=True)
 
@@ -423,11 +494,13 @@ def apply_port_rules(
         )
     mutable = set(rf_ids.values())
 
+    edges_by_net: dict[int, list] = defaultdict(list)
+    for edge in graph.edges:
+        edges_by_net[edge.net].append(edge)
+
     def touching(net_local: int, bits: int) -> set[int]:
         out: set[int] = set()
-        for edge in graph.edges:
-            if edge.net != net_local:
-                continue
+        for edge in edges_by_net.get(net_local, ()):
             if bits and not (edge.label & bits):
                 continue
             owner = partition.of_element.get(edge.element)

@@ -206,6 +206,38 @@ class CircuitGraph:
             deg[self.n_elements + edge.net] += 1
         return deg
 
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(element, net, label)`` int64 arrays over all edges.
+
+        Cached on first use (the edge list never changes after
+        construction); these feed the vectorized postprocessing scans,
+        which turn per-edge Python predicates into numpy masks.
+        """
+        cached = getattr(self, "_edge_arrays", None)
+        if cached is not None and len(cached[0]) == len(self.edges):
+            return cached
+        n = len(self.edges)
+        element = np.fromiter(
+            (e.element for e in self.edges), dtype=np.int64, count=n
+        )
+        net = np.fromiter((e.net for e in self.edges), dtype=np.int64, count=n)
+        label = np.fromiter(
+            (e.label for e in self.edges), dtype=np.int64, count=n
+        )
+        self._edge_arrays = (element, net, label)
+        return self._edge_arrays
+
+    def element_edge_lists(self) -> list[list[Edge]]:
+        """Per-element incident edge lists, cached on first use."""
+        cached = getattr(self, "_element_edges", None)
+        if cached is not None and len(cached) == self.n_elements:
+            return cached
+        lists: list[list[Edge]] = [[] for _ in range(self.n_elements)]
+        for edge in self.edges:
+            lists[edge.element].append(edge)
+        self._element_edges = lists
+        return lists
+
     # -- derived views -------------------------------------------------
 
     def power_net_vertices(self) -> set[int]:

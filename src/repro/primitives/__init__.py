@@ -18,9 +18,15 @@ from repro.primitives.signatures import (
     build_filter,
     vertex_signatures,
 )
+from repro.primitives.index import (
+    TargetContext,
+    TemplateProfile,
+    template_profile,
+)
 from repro.primitives.matcher import (
     AnnotationResult,
     PrimitiveMatch,
+    annotate_components,
     annotate_primitives,
     find_primitive_matches,
 )
@@ -32,11 +38,15 @@ __all__ = [
     "PrimitiveLibrary",
     "PrimitiveMatch",
     "PrimitiveTemplate",
+    "TargetContext",
+    "TemplateProfile",
     "VF2Matcher",
     "CompatibilityFilter",
     "TargetIndex",
+    "annotate_components",
     "annotate_primitives",
     "build_filter",
+    "template_profile",
     "vertex_signatures",
     "default_library",
     "extended_library",

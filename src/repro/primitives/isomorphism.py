@@ -90,6 +90,9 @@ class _Adjacency:
             self.neighbors[u][v] = edge.label
             self.neighbors[v][u] = edge.label
         self.degree = [len(nbrs) for nbrs in self.neighbors]
+        # Key sets of the neighbor dicts, for candidate-pool
+        # intersections without per-search-node set() construction.
+        self.neighbor_sets = [set(nbrs) for nbrs in self.neighbors]
         # Vertex kind token: DeviceKind for elements, "net" for nets.
         self.kind = [
             graph.elements[i].kind if i < graph.n_elements else "net"
@@ -103,6 +106,18 @@ class VF2Matcher:
     ``use_prefilter`` enables the SubGemini-style signature filter
     (:mod:`repro.primitives.signatures`): a sound pruning of candidate
     pairs before and during the search.
+
+    Hot-path reuse (see :mod:`repro.primitives.index`): ``profile`` — a
+    :class:`~repro.primitives.index.TemplateProfile` — supplies the
+    pattern-side precomputation (adjacency, matching order, signatures,
+    automorphisms), and ``target_context`` — a
+    :class:`~repro.primitives.index.TargetContext` — the target-side
+    tables, so constructing a matcher for the Nth template against the
+    Mth subgraph costs only the (pattern × target) compatibility
+    filter.  With a profile present, symmetry breaking prunes every
+    search branch that is not the lexicographically minimal member of
+    its automorphism orbit; pass ``symmetry_break=False`` to force the
+    naive enumerate-then-deduplicate behaviour.
     """
 
     def __init__(
@@ -111,25 +126,59 @@ class VF2Matcher:
         target: CircuitGraph,
         use_prefilter: bool = True,
         target_index=None,
+        profile=None,
+        target_context=None,
+        symmetry_break: bool | None = None,
     ):
         self.pattern = pattern
-        self.p = _Adjacency(pattern.graph)
-        self.t = _Adjacency(target)
+        if profile is not None:
+            self.p = profile.adjacency
+            self.order = profile.order
+            self.internal_net = profile.internal_net
+        else:
+            self.p = _Adjacency(pattern.graph)
+            # Pattern vertex order: BFS from the highest-degree element
+            # so each new vertex (after the first) touches the mapped
+            # core — the "next candidate pair P(s)" discipline of VF2.
+            self.order = self._matching_order()
+            n_el = pattern.graph.n_elements
+            self.internal_net = [
+                (v >= n_el) and ((v - n_el) not in pattern.boundary_nets)
+                for v in range(self.p.n)
+            ]
+        self.p_n_el = pattern.graph.n_elements
+        self.depth_plan = (
+            profile.depth_plan
+            if profile is not None
+            else self._build_depth_plan()
+        )
+        if target_context is not None and target_context.graph is target:
+            self.t = target_context.adjacency
+            target_index = target_context.index
+        else:
+            self.t = _Adjacency(target)
         self.target = target
         self.prefilter = None
         if use_prefilter:
             from repro.primitives.signatures import build_filter
 
-            self.prefilter = build_filter(pattern, target, target_index)
-        # Pattern vertex order: BFS from the highest-degree element so
-        # each new vertex (after the first) touches the mapped core —
-        # the "next candidate pair P(s)" discipline of VF2.
-        self.order = self._matching_order()
-        n_el = pattern.graph.n_elements
-        self.internal_net = [
-            (v >= n_el) and ((v - n_el) not in pattern.boundary_nets)
-            for v in range(self.p.n)
-        ]
+            self.prefilter = build_filter(
+                pattern,
+                target,
+                target_index,
+                pattern_signatures=(
+                    (profile.signatures, profile.frozen)
+                    if profile is not None
+                    else None
+                ),
+            )
+        if symmetry_break is None:
+            symmetry_break = profile is not None
+        self.automorphisms = (
+            profile.automorphisms
+            if (symmetry_break and profile is not None)
+            else ()
+        )
 
     def _matching_order(self) -> list[int]:
         n = self.p.n
@@ -158,64 +207,57 @@ class VF2Matcher:
                 order.append(v)
         return order
 
+    def _build_depth_plan(
+        self,
+    ) -> list[tuple[list[int], list[tuple[int, int]], int, bool]]:
+        """Pattern-side search data, fixed per depth by the static order.
+
+        At depth ``d`` the mapped core is exactly ``order[:d]``, so for
+        ``pv = order[d]`` we can precompute once per pattern: which of
+        its neighbors are already mapped, the ``(neighbor, label)``
+        edges the candidate must reproduce, how many neighbors are
+        still unmapped (the look-ahead need), and whether ``pv`` is a
+        boundary net (exempt from the reverse-consistency check).
+        """
+        pos = {v: i for i, v in enumerate(self.order)}
+        n_el = self.p_n_el
+        plan: list[tuple[list[int], list[tuple[int, int]], int, bool]] = []
+        for d, pv in enumerate(self.order):
+            nbrs = self.p.neighbors[pv]
+            mapped = [pn for pn in nbrs if pos[pn] < d]
+            edges = [(pn, nbrs[pn]) for pn in mapped]
+            boundary = pv >= n_el and not self.internal_net[pv]
+            plan.append((mapped, edges, len(nbrs) - len(mapped), boundary))
+        return plan
+
     # -- feasibility ----------------------------------------------------
 
     def _semantic_ok(self, pv: int, tv: int) -> bool:
-        if self.prefilter is not None and not self.prefilter.ok(pv, tv):
-            return False
+        if self.prefilter is not None:
+            # Prefilter membership already implies the kind and degree
+            # conditions below: exact-signature buckets (elements,
+            # internal nets) force an identical incident-edge multiset,
+            # and boundary cover sets force kind "net" with degree ≥.
+            return tv in self.prefilter.allowed[pv]
         if self.p.kind[pv] != self.t.kind[tv]:
             return False
         p_deg, t_deg = self.p.degree[pv], self.t.degree[tv]
-        if pv < self.pattern.graph.n_elements:
+        if pv < self.p_n_el:
             return p_deg == t_deg  # element terminals are fully specified
         if self.internal_net[pv]:
             return p_deg == t_deg  # internal nets: nothing else touches
         return t_deg >= p_deg  # boundary nets may fan out
 
-    def _consistent(
-        self, pv: int, tv: int, core_p: dict[int, int], core_t: dict[int, int]
-    ) -> bool:
-        # Every already-mapped pattern neighbor must be a target neighbor
-        # with the same label; and (for exact-degree vertices) every
-        # mapped target neighbor must correspond back.
-        for pn, label in self.p.neighbors[pv].items():
-            if pn in core_p:
-                tn = core_p[pn]
-                if self.t.neighbors[tv].get(tn) != label:
-                    return False
-        # Reverse direction: iterate the O(1)-size mapped core rather
-        # than tv's (possibly huge — think power rails) neighbor list,
-        # keeping the per-pair cost constant and VF2 O(n) overall.
-        for tn, pn in core_t.items():
-            if tn not in self.t.neighbors[tv]:
-                continue
-            if pn not in self.p.neighbors[pv]:
-                # A mapped target neighbor with no pattern edge is
-                # only acceptable through a boundary net on the
-                # *other* endpoint — elements/internal nets of the
-                # pattern must not gain edges among themselves.
-                if not (
-                    pn >= self.pattern.graph.n_elements
-                    and not self.internal_net[pn]
-                ) and not (
-                    pv >= self.pattern.graph.n_elements
-                    and not self.internal_net[pv]
-                ):
-                    return False
-        return True
-
-    def _lookahead_ok(self, pv: int, tv: int, core_p: dict[int, int]) -> bool:
-        # One-look-ahead: the candidate target vertex must offer at
-        # least as many unmapped neighbors as the pattern vertex needs.
-        # Count tv's mapped neighbors through the O(1)-size core, not
-        # through tv's neighbor list (power rails have O(n) neighbors).
-        p_need = sum(1 for pn in self.p.neighbors[pv] if pn not in core_p)
-        t_mapped = sum(
-            1 for tn in self._core_t if tn in self.t.neighbors[tv]
-        )
-        return self.t.degree[tv] - t_mapped >= p_need
-
     # -- search -----------------------------------------------------------
+    # Consistency and one-look-ahead live inline in _search, driven by
+    # the per-depth plan: every already-mapped pattern neighbor must be
+    # a target neighbor with the identical label; mapped target
+    # neighbors with no pattern edge are only acceptable through a
+    # boundary net on either endpoint; and the candidate must offer at
+    # least as many unmapped neighbors as the pattern vertex needs.
+    # Mapped target neighbors are found by intersecting with the
+    # O(1)-size core, not by walking tv's neighbor list (power rails
+    # have O(n) neighbors).
 
     def find_all(
         self, limit: int | None = None, budget: Budget | None = None
@@ -245,38 +287,6 @@ class VF2Matcher:
         """True when at least one match exists (early exit)."""
         return bool(self.find_all(limit=1))
 
-    def _candidates(self, depth: int) -> list[int]:
-        pv = self.order[depth]
-        # Candidates: target neighbors of already-mapped pattern
-        # neighbors of pv (frontier discipline); for the first vertex,
-        # every kind-compatible target vertex.
-        mapped_neighbors = [
-            self._core_p[pn] for pn in self.p.neighbors[pv] if pn in self._core_p
-        ]
-        if mapped_neighbors:
-            # Intersect starting from the smallest neighbor set so a
-            # mapped power rail (O(n) neighbors) doesn't blow up the
-            # candidate pool.
-            base = min(
-                mapped_neighbors, key=lambda tn: len(self.t.neighbors[tn])
-            )
-            pool = set(self.t.neighbors[base])
-            for tn in mapped_neighbors:
-                if tn is not base:
-                    pool &= set(self.t.neighbors[tn])
-            return [tv for tv in pool if tv not in self._core_t]
-        if self.prefilter is not None:
-            return [
-                tv
-                for tv in self.prefilter.allowed[pv]
-                if tv not in self._core_t
-            ]
-        return [
-            tv
-            for tv in range(self.t.n)
-            if tv not in self._core_t and self.t.kind[tv] == self.p.kind[pv]
-        ]
-
     def _search(self, depth: int) -> None:
         if self._budget is not None:
             self._budget.tick(what="VF2 subgraph search")
@@ -288,18 +298,102 @@ class VF2Matcher:
             )
             return
         pv = self.order[depth]
-        for tv in self._candidates(depth):
-            if not self._semantic_ok(pv, tv):
+        mapped_nbrs, edges, p_need, pv_boundary = self.depth_plan[depth]
+        core_p, core_t = self._core_p, self._core_t
+        t = self.t
+        t_nbrs, t_sets, t_deg = t.neighbors, t.neighbor_sets, t.degree
+        prefiltered = self.prefilter is not None
+
+        # Candidate pool: target images of already-mapped pattern
+        # neighbors (frontier discipline), intersected smallest-first
+        # so a mapped power rail (O(n) neighbors) doesn't blow it up;
+        # for the first vertex, the prefilter's allowed set (or a kind
+        # scan).  The shared sets are never mutated (x & y allocates).
+        if mapped_nbrs:
+            if len(mapped_nbrs) == 1:
+                pool = t_sets[core_p[mapped_nbrs[0]]]
+            else:
+                targets = [core_p[pn] for pn in mapped_nbrs]
+                base = min(targets, key=lambda tn: len(t_sets[tn]))
+                pool = t_sets[base]
+                for tn in targets:
+                    if tn is not base:
+                        pool = pool & t_sets[tn]
+            if prefiltered:
+                pool = pool & self.prefilter.allowed[pv]
+        elif prefiltered:
+            pool = self.prefilter.allowed[pv]
+        else:
+            p_kind = self.p.kind[pv]
+            pool = [tv for tv in range(t.n) if t.kind[tv] == p_kind]
+
+        p_nbrs_pv = self.p.neighbors[pv]
+        internal_net = self.internal_net
+        n_el = self.p_n_el
+        n_edges = len(edges)
+        for tv in pool:
+            if tv in core_t:
                 continue
-            if not self._consistent(pv, tv, self._core_p, self._core_t):
+            # With a prefilter, pool membership already implies
+            # semantic feasibility (kind + degree via signatures).
+            if not prefiltered and not self._semantic_ok(pv, tv):
                 continue
-            if not self._lookahead_ok(pv, tv, self._core_p):
+            t_nbrs_tv = t_nbrs[tv]
+            ok = True
+            for pn, label in edges:
+                if t_nbrs_tv.get(core_p[pn]) != label:
+                    ok = False
+                    break
+            if not ok:
                 continue
-            self._core_p[pv] = tv
-            self._core_t[tv] = pv
-            self._search(depth + 1)
-            del self._core_p[pv]
-            del self._core_t[tv]
+            mapped_tns = core_t.keys() & t_sets[tv]
+            if t_deg[tv] - len(mapped_tns) < p_need:
+                continue
+            # Reverse consistency: the forward loop accounts for
+            # exactly n_edges of tv's mapped neighbors (injectivity),
+            # so extras exist only when the counts differ.  An extra —
+            # a mapped target neighbor with no pattern edge — is only
+            # acceptable through a boundary net on either endpoint:
+            # elements/internal nets of the pattern must not gain
+            # edges among themselves.
+            if len(mapped_tns) > n_edges and not pv_boundary:
+                for tn in mapped_tns:
+                    pn = core_t[tn]
+                    if pn not in p_nbrs_pv and not (
+                        pn >= n_el and not internal_net[pn]
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            core_p[pv] = tv
+            core_t[tv] = pv
+            if not self.automorphisms or not self._symmetry_dominated(depth):
+                self._search(depth + 1)
+            del core_p[pv]
+            del core_t[tv]
+
+    def _symmetry_dominated(self, depth: int) -> bool:
+        """True when an automorphic image of the current partial mapping
+        is lexicographically smaller (in matching-order space).
+
+        If so, every completion of this branch has a completion in the
+        smaller-image branch (automorphisms map matches to matches and
+        preserve semantics — see :mod:`repro.primitives.index`), so the
+        branch can be pruned without losing any orbit.  The orbit's
+        lex-minimal member dominates nothing and always survives.
+        """
+        order = self.order
+        core_p = self._core_p
+        for sigma in self.automorphisms:
+            for i in range(depth + 1):
+                a = core_p[order[i]]
+                b = core_p.get(sigma[order[i]])
+                if b is None or b > a:
+                    break  # incomparable / image larger: sigma is fine
+                if b < a:
+                    return True
+        return False
 
 
 def find_subgraph_isomorphisms(

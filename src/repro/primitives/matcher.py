@@ -6,11 +6,28 @@ filters matches through the template's port-role predicates, collapses
 automorphic duplicates (a differential pair matches twice under its own
 symmetry), and resolves overlaps largest-template-first so that, e.g.,
 a cascode current mirror is not also reported as two simple mirrors.
+
+Two execution paths produce identical results (the property tests in
+``tests/primitives/test_index.py`` assert exact equality):
+
+* **indexed** (default) — per-template profiles and a shared per-target
+  context (:mod:`repro.primitives.index`) amortize matcher setup, a
+  kind-histogram test rejects impossible (template, target) pairs
+  before any VF2 launch, and symmetry breaking skips automorphic
+  duplicate branches;
+* **naive** (``indexed=False``) — the original per-call construction,
+  kept as the reference implementation and performance baseline.
+
+:func:`annotate_components` scopes matching per channel-connected
+component: one shared context per CCC-induced subgraph, with the
+template profiles shared across all of them.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.constraints import Constraint
 from repro.exceptions import BudgetExceeded
@@ -18,6 +35,11 @@ from repro.graph.bipartite import CircuitGraph
 from repro.primitives.isomorphism import Isomorphism, VF2Matcher
 from repro.primitives.library import PrimitiveLibrary, PrimitiveTemplate
 from repro.runtime.resilience import Budget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.ccc import CCCPartition
+    from repro.primitives.index import TargetContext, TemplateProfile
+    from repro.runtime.profile import PipelineProfiler
 
 
 @dataclass(frozen=True)
@@ -48,28 +70,55 @@ class PrimitiveMatch:
 
 
 def _match_from_isomorphism(
-    template: PrimitiveTemplate, target: CircuitGraph, iso: Isomorphism
+    profile: "TemplateProfile",
+    target: CircuitGraph,
+    iso: Isomorphism,
 ) -> PrimitiveMatch | None:
-    """Translate a raw vertex mapping into named maps; apply predicates."""
-    pattern_graph = template.graph
+    """Translate a raw vertex mapping into named maps; apply predicates.
+
+    The mapping is first rewritten to its orbit-canonical
+    representative (under the profile's automorphism group), so the
+    reported match does not depend on which orbit member the search
+    happened to reach first — the naive and symmetry-broken paths
+    report byte-identical matches.  Predicate outcomes are orbit
+    invariants (semantic automorphisms preserve port predicate
+    profiles), so canonicalizing before the predicate check is sound.
+    Port predicates, template-side names, and constraint templates all
+    come precomputed from the profile.
+    """
+    from repro.primitives.index import canonical_mapping
+
+    template = profile.template
+    mapping = iso.as_dict
+    if profile.automorphisms:
+        mapping = canonical_mapping(mapping, profile.automorphisms)
+    p_n_el = profile.n_elements
+    t_n_el = target.n_elements
+    p_el_names = profile.element_names
+    p_net_names = profile.net_names
+    port_checks = profile.port_checks
+    t_elements, t_nets = target.elements, target.nets
     element_map: list[tuple[str, str]] = []
     net_map: list[tuple[str, str]] = []
-    for pv, tv in iso.mapping:
-        if pv < pattern_graph.n_elements:
-            element_map.append(
-                (pattern_graph.elements[pv].name, target.elements[tv].name)
-            )
+    for pv, tv in mapping.items():
+        if pv < p_n_el:
+            element_map.append((p_el_names[pv], t_elements[tv].name))
         else:
-            template_net = pattern_graph.nets[pv - pattern_graph.n_elements]
-            target_net = target.nets[tv - target.n_elements]
-            net_map.append((template_net, target_net))
-            if template_net in pattern_graph.circuit.ports:
-                if not template.port_net_ok(template_net, target_net):
-                    return None
-    rename = dict(element_map)
-    constraints = tuple(
-        c.renamed(rename).with_source(template.name) for c in template.constraints
-    )
+            target_net = t_nets[tv - t_n_el]
+            net_map.append((p_net_names[pv - p_n_el], target_net))
+            predicates = port_checks.get(pv)
+            if predicates is not None:
+                for predicate in predicates:
+                    if not predicate(target_net):
+                        return None
+    if template.constraints:
+        rename = dict(element_map)
+        constraints = tuple(
+            c.renamed(rename).with_source(template.name)
+            for c in template.constraints
+        )
+    else:
+        constraints = ()
     return PrimitiveMatch(
         primitive=template.name,
         element_map=tuple(sorted(element_map)),
@@ -83,6 +132,10 @@ def find_primitive_matches(
     target: CircuitGraph,
     target_index=None,
     budget: Budget | None = None,
+    *,
+    profile: "TemplateProfile | None" = None,
+    context: "TargetContext | None" = None,
+    indexed: bool = True,
 ) -> list[PrimitiveMatch]:
     """All predicate-respecting, deduplicated matches of one template.
 
@@ -91,14 +144,40 @@ def find_primitive_matches(
     ``budget`` bounds the underlying VF2 search; on exhaustion the
     raised :class:`~repro.exceptions.BudgetExceeded` carries the
     deduplicated matches translated so far as ``exc.partial``.
+
+    ``indexed`` selects the hot path: the template's memoized
+    :func:`~repro.primitives.index.template_profile` (or an explicit
+    ``profile``) plus an optional shared ``context`` for the target,
+    with symmetry breaking on.  ``indexed=False`` is the naive
+    reference path — per-call setup, enumerate-all-then-deduplicate —
+    guaranteed to return the same matches.
     """
-    matcher = VF2Matcher(template.pattern, target, target_index=target_index)
+    from repro.primitives.index import template_profile
+
+    # The profile also carries the automorphism group used to
+    # canonicalize matches, so both paths resolve it (memoized).
+    profile = profile or template_profile(template)
+    if indexed:
+        matcher = VF2Matcher(
+            template.pattern,
+            target,
+            target_index=target_index,
+            profile=profile,
+            target_context=context,
+        )
+    else:
+        matcher = VF2Matcher(
+            template.pattern,
+            target,
+            target_index=target_index,
+            symmetry_break=False,
+        )
 
     def translate(isos: list[Isomorphism]) -> list[PrimitiveMatch]:
         matches: list[PrimitiveMatch] = []
         seen: set[frozenset[str]] = set()
         for iso in isos:
-            match = _match_from_isomorphism(template, target, iso)
+            match = _match_from_isomorphism(profile, target, iso)
             if match is None:
                 continue
             key = match.elements
@@ -106,6 +185,11 @@ def find_primitive_matches(
                 continue  # automorphic duplicate (e.g. DP arm swap)
             seen.add(key)
             matches.append(match)
+        # Canonical order: the search enumerates candidate pools (hash
+        # sets) in an order that depends on which path built them, and
+        # downstream overlap resolution claims devices in match order —
+        # sort so both paths hand identical lists to the claimer.
+        matches.sort(key=lambda m: (m.element_map, m.net_map))
         return matches
 
     try:
@@ -148,6 +232,10 @@ def annotate_primitives(
     library: PrimitiveLibrary,
     allow_overlap: bool = False,
     budget: Budget | None = None,
+    *,
+    context: "TargetContext | None" = None,
+    profiler: "PipelineProfiler | None" = None,
+    indexed: bool = True,
 ) -> AnnotationResult:
     """Recognize every primitive in ``target``.
 
@@ -160,7 +248,16 @@ def annotate_primitives(
     :class:`~repro.exceptions.BudgetExceeded` carries the partial
     :class:`AnnotationResult` (matches accepted before the cutoff, plus
     the partial matches of the interrupted template) as ``exc.partial``.
+
+    On the indexed path a shared ``context`` (built here when not
+    given) serves every template, and a template whose element-kind
+    histogram cannot be covered by the target's is skipped without
+    launching VF2 — on small CCC subgraphs this rejects most of the
+    library in O(1) each.  ``profiler`` (a
+    :class:`~repro.runtime.profile.PipelineProfiler`) collects
+    per-template wall-clock, launch, match, and skip counts.
     """
+    from repro.primitives.index import TargetContext, template_profile
     from repro.primitives.signatures import TargetIndex
 
     result = AnnotationResult()
@@ -184,12 +281,35 @@ def annotate_primitives(
         ]
         return result
 
-    index = TargetIndex.build(target)
+    if indexed:
+        context = context or TargetContext.build(target)
+        index = None
+    else:
+        index = TargetIndex.build(target)
     try:
         for template in library.by_size_desc():
-            for match in find_primitive_matches(
-                template, target, index, budget=budget
-            ):
+            profile = template_profile(template)
+            if indexed and not _kinds_coverable(profile, context):
+                if profiler is not None:
+                    profiler.record_template_skip(template.name)
+                continue
+            started = time.perf_counter()
+            matches = find_primitive_matches(
+                template,
+                target,
+                index,
+                budget=budget,
+                profile=profile,
+                context=context,
+                indexed=indexed,
+            )
+            if profiler is not None:
+                profiler.record_template(
+                    template.name,
+                    seconds=time.perf_counter() - started,
+                    matches=len(matches),
+                )
+            for match in matches:
                 accept(match)
     except BudgetExceeded as exc:
         for match in exc.partial or []:
@@ -197,3 +317,51 @@ def annotate_primitives(
         exc.partial = finish()
         raise
     return finish()
+
+
+def _kinds_coverable(
+    profile: "TemplateProfile", context: "TargetContext"
+) -> bool:
+    """Can the target host the template's element-kind histogram?
+
+    A monomorphism maps elements injectively onto same-kind elements,
+    so a template needing more devices of some kind than the target
+    owns can never match.  O(#kinds in template).
+    """
+    target_counts = context.kind_counts
+    for kind, needed in profile.kind_counts.items():
+        if target_counts.get(kind, 0) < needed:
+            return False
+    return True
+
+
+def annotate_components(
+    graph: CircuitGraph,
+    partition: "CCCPartition",
+    library: PrimitiveLibrary,
+    budget: Budget | None = None,
+    profiler: "PipelineProfiler | None" = None,
+    indexed: bool = True,
+) -> dict[int, AnnotationResult]:
+    """Per-CCC primitive annotation: component id → its matches.
+
+    Matching is scoped to each channel-connected component's induced
+    subgraph (the unit Postprocessing I reasons about), which both
+    bounds every VF2 launch to a handful of vertices and lets the
+    kind-histogram test reject most templates per component outright.
+    Template profiles are shared across every component; each component
+    pays for one subgraph + one :class:`TargetContext`.
+    """
+    results: dict[int, AnnotationResult] = {}
+    for cid, members in enumerate(partition.components):
+        if profiler is not None:
+            profiler.count("ccc_matched")
+        subgraph = graph.subgraph_of_elements(members)
+        results[cid] = annotate_primitives(
+            subgraph,
+            library,
+            budget=budget,
+            profiler=profiler,
+            indexed=indexed,
+        )
+    return results

@@ -16,7 +16,7 @@ check; the payoff is measured by ``bench_vf2_scaling.py``.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.graph.bipartite import CircuitGraph
 from repro.primitives.isomorphism import PatternGraph
@@ -40,6 +40,27 @@ def vertex_signatures(graph: CircuitGraph) -> list[Signature]:
         signatures[u][(edge.label, "net")] += 1
         signatures[v][(edge.label, graph.elements[u].kind)] += 1
     return signatures
+
+
+def vertex_degrees(signatures: list[Signature]) -> list[int]:
+    """Degree invariant: total incident-edge count per vertex."""
+    return [sum(sig.values()) for sig in signatures]
+
+
+def neighbor_kind_histograms(signatures: list[Signature]) -> list[Counter]:
+    """Neighbor-type histogram invariant: kind → count, per vertex.
+
+    A coarser projection of the full signature (the edge label is
+    dropped), useful as a cheap compatibility check before the full
+    multiset cover test.
+    """
+    histograms: list[Counter] = []
+    for sig in signatures:
+        hist: Counter = Counter()
+        for (_label, kind), count in sig.items():
+            hist[kind] += count
+        histograms.append(hist)
+    return histograms
 
 
 def frozen_signatures(
@@ -98,6 +119,13 @@ class TargetIndex:
     frozen: list[tuple]
     by_kind: dict[object, list[int]]
     by_exact: dict[tuple, list[int]]  # (kind, frozen signature) buckets
+    degrees: list[int]
+    #: Lazy caches filled by :func:`build_filter`; keyed by the pattern
+    #: vertex's (kind, frozen sig) / frozen sig, so templates sharing a
+    #: vertex signature share one candidate set.  The sets are treated
+    #: as immutable by every consumer.
+    exact_sets: dict[tuple, set[int]] = field(default_factory=dict)
+    cover_sets: dict[tuple, set[int]] = field(default_factory=dict)
 
     @classmethod
     def build(cls, target: CircuitGraph) -> "TargetIndex":
@@ -114,6 +142,7 @@ class TargetIndex:
             frozen=frozen,
             by_kind=by_kind,
             by_exact=by_exact,
+            degrees=vertex_degrees(signatures),
         )
 
 
@@ -121,31 +150,64 @@ def build_filter(
     pattern: PatternGraph,
     target: CircuitGraph,
     index: TargetIndex | None = None,
+    pattern_signatures: tuple[list[Signature], list[tuple]] | None = None,
 ) -> CompatibilityFilter:
     """Signature compatibility for every (pattern, target) vertex pair.
 
     Exact-signature pattern vertices (elements, internal nets) resolve
     through a hash bucket in O(1); boundary nets scan their kind bucket
     with O(1) work per candidate — linear in the target overall.
+
+    ``pattern_signatures`` — ``(signatures, frozen)`` precomputed once
+    per template (see :func:`repro.primitives.index.template_profile`)
+    — skips the per-call pattern signature recomputation that dominated
+    matcher setup before the index layer existed.
     """
     p_graph = pattern.graph
-    p_sigs = vertex_signatures(p_graph)
-    p_frozen = frozen_signatures(p_sigs)
+    if pattern_signatures is not None:
+        p_sigs, p_frozen = pattern_signatures
+    else:
+        p_sigs = vertex_signatures(p_graph)
+        p_frozen = frozen_signatures(p_sigs)
     index = index or TargetIndex.build(target)
     n_el = p_graph.n_elements
+    n = p_graph.n_vertices
 
-    allowed: list[set[int]] = []
-    for pv in range(p_graph.n_vertices):
-        exact = pv < n_el or ((pv - n_el) not in pattern.boundary_nets)
-        kind = _kind_token(p_graph, pv)
-        if exact:
-            ok = set(index.by_exact.get((kind, p_frozen[pv]), ()))
-        else:
+    # Exact rows first: they are O(1) hash-bucket lookups, and an empty
+    # one proves the whole template infeasible here — bail before the
+    # (comparatively expensive) boundary-net cover scans.  Candidate
+    # sets are cached on the index and shared across templates; every
+    # consumer treats them as immutable.
+    allowed: list[set[int] | None] = [None] * n
+    boundary: list[int] = []
+    for pv in range(n):
+        if pv >= n_el and (pv - n_el) in pattern.boundary_nets:
+            boundary.append(pv)
+            continue
+        key = (_kind_token(p_graph, pv), p_frozen[pv])
+        ok = index.exact_sets.get(key)
+        if ok is None:
+            ok = set(index.by_exact.get(key, ()))
+            index.exact_sets[key] = ok
+        allowed[pv] = ok
+        if not ok:
+            return CompatibilityFilter(
+                allowed=[s if s is not None else set() for s in allowed]
+            )
+
+    for pv in boundary:
+        ok = index.cover_sets.get(p_frozen[pv])
+        if ok is None:
             sig = p_sigs[pv]
+            need = sum(sig.values())
             ok = {
                 tv
-                for tv in index.by_kind.get(kind, ())
-                if signature_covers(sig, index.signatures[tv], exact=False)
+                for tv in index.by_kind.get("net", ())
+                # Degree invariant first: a host with fewer incident
+                # edges than the pattern needs can never cover it.
+                if index.degrees[tv] >= need
+                and signature_covers(sig, index.signatures[tv], exact=False)
             }
-        allowed.append(ok)
+            index.cover_sets[p_frozen[pv]] = ok
+        allowed[pv] = ok
     return CompatibilityFilter(allowed=allowed)

@@ -17,7 +17,10 @@ code builds on:
 * :mod:`repro.runtime.resilience` — structured diagnostics for lenient
   parsing, per-item failure reports for fault-isolated batch runs,
   step/wall-clock budgets for unbounded searches, and SIGALRM
-  time limits.
+  time limits;
+* :mod:`repro.runtime.profile` — a stage/per-template profiler for
+  annotation runs (``GanaPipeline.run(..., profile=True)``, CLI
+  ``--profile out.json``).
 """
 
 from repro.runtime.cache import (
@@ -27,6 +30,7 @@ from repro.runtime.cache import (
     fingerprint,
 )
 from repro.runtime.parallel import parallel_map, resolve_workers
+from repro.runtime.profile import PipelineProfiler, TemplateStats
 from repro.runtime.resilience import (
     Budget,
     Diagnostic,
@@ -49,6 +53,8 @@ __all__ = [
     "fingerprint",
     "parallel_map",
     "resolve_workers",
+    "PipelineProfiler",
+    "TemplateStats",
     "stage",
     "time_limit",
 ]

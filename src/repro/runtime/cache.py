@@ -27,10 +27,13 @@ import hashlib
 import json
 import os
 import tempfile
+import weakref
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, TypeVar
 
 import numpy as np
+
+_T = TypeVar("_T")
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "GANA_CACHE_DIR"
@@ -78,6 +81,45 @@ def fingerprint(spec: dict[str, Any]) -> str:
     """
     canon = json.dumps(spec, sort_keys=True, default=_canonical)
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:32]
+
+
+class Memo:
+    """In-process memo keyed by object *identity*, weakref-guarded.
+
+    The disk cache above amortizes work across processes; this one
+    amortizes derived, unpicklable structures across call sites inside
+    one process — e.g. the per-template matching profiles of
+    :mod:`repro.primitives.index`, computed once per library load and
+    reused by every annotation call.  Keys are ``id(obj)`` with a
+    weak reference confirming the object is still the same one (id
+    values are recycled); entries die with their objects, so the memo
+    can never pin memory or serve stale values.  Objects that do not
+    support weak references are computed but not stored.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[weakref.ref, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_build(self, obj: Any, builder: Callable[[Any], _T]) -> _T:
+        key = id(obj)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is obj:
+            return entry[1]
+        value = builder(obj)
+        try:
+            ref = weakref.ref(
+                obj, lambda _ref, key=key: self._entries.pop(key, None)
+            )
+        except TypeError:
+            return value  # unweakrefable: still correct, just uncached
+        self._entries[key] = (ref, value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 class ModelCache:

@@ -16,6 +16,7 @@ Net-name conventions used throughout the package:
 from __future__ import annotations
 
 import enum
+import functools
 import re
 from dataclasses import dataclass, field, replace
 from typing import Iterator
@@ -36,8 +37,14 @@ def is_ground_net(net: str) -> bool:
     return bool(GROUND_NET_RE.match(net))
 
 
+@functools.lru_cache(maxsize=4096)
 def is_power_net(net: str) -> bool:
-    """True for either supply or ground nets."""
+    """True for either supply or ground nets.
+
+    Pure function of the name; memoized because the graph and
+    postprocessing layers ask about the same handful of rail names
+    thousands of times per circuit.
+    """
     return is_supply_net(net) or is_ground_net(net)
 
 

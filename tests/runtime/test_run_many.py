@@ -79,6 +79,31 @@ class TestRunMany:
     def test_empty_batch(self, pipeline):
         assert pipeline.run_many([]) == []
 
+    def test_serial_bypass_spawns_no_pool(self, pipeline, decks, monkeypatch):
+        """``workers=1`` or a single netlist must never touch the pool.
+
+        BENCH showed the pool *losing* to the serial loop on a 1-CPU
+        host (0.88x), so the bypass is a performance guarantee: the
+        whole multiprocessing machinery stays cold.
+        """
+        import repro.runtime.parallel as parallel
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("process pool used on the serial path")
+
+        monkeypatch.setattr(parallel, "parallel_map", _forbidden)
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _forbidden)
+
+        names = [f"sys{i}" for i in range(len(decks))]
+        serial = [
+            pipeline.run(deck, name=name) for deck, name in zip(decks, names)
+        ]
+        batch = pipeline.run_many(decks, names=names, workers=1)
+        _assert_same_results(batch, serial)
+        # A single item bypasses the pool regardless of worker count.
+        only = pipeline.run_many([decks[0]], names=["sys0"], workers=8)
+        _assert_same_results(only, serial[:1])
+
     def test_single_netlist(self, pipeline, decks):
         batch = pipeline.run_many([decks[0]], names=["only"])
         serial = [pipeline.run(decks[0], name="only")]
