@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -24,8 +25,25 @@ from repro.datasets.synth import pretrain_annotator
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Committed perf trajectory — each section is updated in place by the
+#: corresponding benchmark/check, so numbers from different runs coexist.
+BENCH_JSON = REPO_ROOT / "BENCH_runtime.json"
+
 SCALE = os.environ.get("REPRO_SCALE", "paper")
 PAPER = SCALE != "quick"
+
+
+def update_bench_json(section: str, payload: dict) -> None:
+    """Rewrite one section of ``BENCH_runtime.json`` in place."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    data["host"] = {"cpu_count": os.cpu_count(), "scale": SCALE}
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 #: Dataset/training sizes per scale.
 OTA_TRAIN = 624 if PAPER else 80

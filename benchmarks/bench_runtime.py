@@ -15,30 +15,21 @@ numbers are far smaller; the *shape* claims checked here:
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
 
-from benchmarks._common import REPO_ROOT, SCALE, load_pipeline, write_result
+from benchmarks._common import (
+    BENCH_JSON,
+    load_pipeline,
+    update_bench_json,
+    write_result,
+)
+from repro.core.stages import TIMING_STAGES
 from repro.datasets.systems import phased_array, switched_cap_filter
 
-#: Committed perf trajectory — each section is updated in place by the
-#: corresponding benchmark, so numbers from different runs coexist.
-BENCH_JSON = REPO_ROOT / "BENCH_runtime.json"
-
-
-def update_bench_json(section: str, payload: dict) -> None:
-    data = {}
-    if BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text())
-        except ValueError:
-            data = {}
-    data[section] = payload
-    data["host"] = {"cpu_count": os.cpu_count(), "scale": SCALE}
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+__all__ = ["BENCH_JSON", "update_bench_json"]  # re-exported from _common
 
 
 @pytest.fixture(scope="module")
@@ -72,7 +63,7 @@ def bench_runtime_pipeline_stages(benchmark, pipelines):
     lines = [
         "{:<28} {:>10} {:>10}".format("stage", "SC filter", "phased array"),
     ]
-    for stage in ("preprocess", "graph", "gcn", "post1", "post2", "hierarchy"):
+    for stage in TIMING_STAGES:
         lines.append(
             "{:<28} {:>9.4f}s {:>9.4f}s".format(
                 stage, sc_result.timings[stage], pa_result.timings[stage]

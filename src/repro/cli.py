@@ -36,10 +36,25 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     from repro.gcn.model import GCNModel
 
     paths = [Path(p) for p in args.netlist]
+    if not paths and not args.resume_from:
+        print(
+            "error: give at least one netlist (or --resume-from an artifact)",
+            file=sys.stderr,
+        )
+        return 2
     missing = [p for p in paths if not p.is_file()]
     if missing:
         for p in missing:
             print(f"error: no such netlist: {p}", file=sys.stderr)
+        return 2
+    if len(paths) > 1 and (
+        args.stop_after or args.resume_from or args.save_artifacts
+    ):
+        print(
+            "error: --stop-after/--resume-from/--save-artifacts work on a "
+            "single netlist, not a batch",
+            file=sys.stderr,
+        )
         return 2
     if args.model:
         classes = task_classes(args.task)
@@ -70,14 +85,38 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     mode = "lenient" if args.lenient else "strict"
     if len(paths) > 1:
         return _annotate_batch(args, pipeline, paths, port_labels, mode)
-    result = pipeline.run(
-        paths[0].read_text(),
-        port_labels=port_labels,
-        name=paths[0].stem,
-        mode=mode,
-        profile=bool(args.profile),
-    )
-    _report_result_health(paths[0], result)
+    if args.stop_after or args.resume_from:
+        profiler = None
+        if args.profile:
+            from repro.runtime.profile import PipelineProfiler
+
+            profiler = PipelineProfiler()
+        staged = pipeline.run_staged(
+            paths[0].read_text() if paths else None,
+            port_labels=port_labels,
+            name=paths[0].stem if paths else "",
+            mode=mode,
+            profiler=profiler,
+            artifact_cache=args.artifact_cache,
+            save_artifacts=args.save_artifacts,
+            resume_from=args.resume_from,
+            stop_after=args.stop_after,
+        )
+        if not staged.complete:
+            return _report_staged_stop(args, staged, profiler)
+        result = pipeline.result_from_staged(staged, profiler=profiler)
+    else:
+        result = pipeline.run(
+            paths[0].read_text(),
+            port_labels=port_labels,
+            name=paths[0].stem,
+            mode=mode,
+            profile=bool(args.profile),
+            artifact_cache=args.artifact_cache,
+            save_artifacts=args.save_artifacts,
+        )
+    source = paths[0] if paths else Path(args.resume_from)
+    _report_result_health(source, result)
 
     if args.profile:
         Path(args.profile).write_text(json.dumps(result.profile, indent=2) + "\n")
@@ -129,6 +168,31 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_staged_stop(args: argparse.Namespace, staged, profiler) -> int:
+    """Render a staged run that halted before ``hierarchy``.
+
+    One line per produced artifact (stage, type, fingerprint), flagged
+    with the cache-hit marker and the saved path when applicable.
+    """
+    last = staged.last_artifact()
+    print(f"stopped after stage {last.stage.value!r}:")
+    for name, artifact in staged.artifacts.items():
+        hit = "  (cache hit)" if name in staged.cache_hits else ""
+        saved = staged.saved.get(name)
+        where = f"  -> {saved}" if saved else ""
+        print(f"  {artifact.describe()}{hit}{where}")
+    for diag in staged.diagnostics:
+        print(diag.format(), file=sys.stderr)
+    if args.profile and profiler is not None:
+        for stage_name, seconds in staged.timings().items():
+            profiler.record_stage(stage_name, seconds)
+        Path(args.profile).write_text(
+            json.dumps(profiler.as_dict(), indent=2) + "\n"
+        )
+        print(f"wrote stage profile to {args.profile}", file=sys.stderr)
+    return 0
+
+
 def _report_result_health(path: Path, result) -> None:
     """Surface lenient-mode diagnostics and degradation on stderr."""
     for diag in result.diagnostics:
@@ -162,12 +226,16 @@ def _annotate_batch(
         on_error="report" if mode == "lenient" else "raise",
         timeout=args.timeout,
         profile=bool(args.profile),
+        artifact_cache=args.artifact_cache,
     )
     if args.profile:
+        # Failed items carry the partial pre-failure profile too
+        # (FailureReport.profile) — "None" now means "worker died
+        # before recording anything", not "the item failed".
         payload = [
             {
                 "netlist": str(path),
-                "profile": result.profile if result.ok else None,
+                "profile": result.profile,
             }
             for path, result in zip(paths, results)
         ]
@@ -297,11 +365,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from repro.core.stages import STAGE_ORDER
+
+    stage_names = tuple(s.value for s in STAGE_ORDER)
+
     annotate = sub.add_parser("annotate", help="annotate SPICE netlist(s)")
     annotate.add_argument(
         "netlist",
-        nargs="+",
-        help="path(s) to SPICE deck(s); several decks batch-annotate in parallel",
+        nargs="*",
+        help="path(s) to SPICE deck(s); several decks batch-annotate in "
+        "parallel (may be omitted with --resume-from)",
     )
     annotate.add_argument("--task", choices=("ota", "rf"), default="ota")
     annotate.add_argument("--model", help="trained model .npz (else quick-train)")
@@ -320,6 +393,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the trained-model cache (always retrain)",
+    )
+    annotate.add_argument(
+        "--stop-after",
+        choices=stage_names,
+        metavar="STAGE",
+        help="halt after the named stage "
+        f"({', '.join(stage_names)}); pairs with --save-artifacts",
+    )
+    annotate.add_argument(
+        "--resume-from",
+        metavar="ARTIFACT",
+        help="resume from a saved stage artifact (.artifact.pkl file or a "
+        "directory of them); the netlist argument may then be omitted",
+    )
+    annotate.add_argument(
+        "--save-artifacts",
+        metavar="DIR",
+        help="write every stage's artifact under DIR for later --resume-from",
+    )
+    annotate.add_argument(
+        "--artifact-cache",
+        metavar="DIR",
+        help="per-stage incremental recompute: stages whose inputs are "
+        "unchanged load their artifact from DIR instead of re-running",
     )
     annotate.add_argument(
         "--workers",

@@ -45,6 +45,21 @@ _EXPORTS = {
     "GanaPipeline": "repro.core.pipeline",
     "PipelineResult": "repro.core.pipeline",
     "build_hierarchy": "repro.core.pipeline",
+    "AnnotatedDesign": "repro.core.stages",
+    "Artifact": "repro.core.stages",
+    "FeaturedGraph": "repro.core.stages",
+    "FlatDesign": "repro.core.stages",
+    "GcnPrediction": "repro.core.stages",
+    "ParsedDeck": "repro.core.stages",
+    "Post1Result": "repro.core.stages",
+    "Post2Result": "repro.core.stages",
+    "StageName": "repro.core.stages",
+    "StagedRun": "repro.core.stages",
+    "StagedRunner": "repro.core.stages",
+    "TIMING_STAGES": "repro.core.stages",
+    "content_fingerprint": "repro.core.stages",
+    "load_artifacts": "repro.core.stages",
+    "pipeline_result_fingerprint": "repro.core.stages",
 }
 
 __all__ = sorted(_EXPORTS)

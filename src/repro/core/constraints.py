@@ -123,12 +123,30 @@ def subblock_constraints(block_class: str, block_name: str) -> list[Constraint]:
 
 @dataclass
 class ConstraintSet:
-    """Constraints collected over a hierarchy, with propagation."""
+    """Constraints collected over a hierarchy, with propagation.
+
+    Insertion order is preserved; membership is tracked in a parallel
+    set (``Constraint`` is frozen/hashable) so deduplication stays O(1)
+    per add instead of rescanning the list — hierarchy assembly adds
+    hundreds of constraints on large designs.
+    """
 
     constraints: list[Constraint] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._seen = set(self.constraints)
+
+    def _members(self) -> set[Constraint]:
+        # Old pickles restore __dict__ without _seen; rebuild lazily.
+        seen = self.__dict__.get("_seen")
+        if seen is None:
+            seen = self.__dict__["_seen"] = set(self.constraints)
+        return seen
+
     def add(self, constraint: Constraint) -> None:
-        if constraint not in self.constraints:
+        seen = self._members()
+        if constraint not in seen:
+            seen.add(constraint)
             self.constraints.append(constraint)
 
     def extend(self, constraints: list[Constraint]) -> None:

@@ -26,12 +26,24 @@ Resilience (see :mod:`repro.runtime.resilience`):
   chain, diagnostics), in input order, with per-item wall-clock
   ``timeout`` ceilings and bounded retry-with-backoff for transient
   worker-pool failures.
+
+Staged architecture (see :mod:`repro.core.stages`): :meth:`run` is a
+thin façade over a :class:`~repro.core.stages.StagedRunner` executing
+the seven concrete stages defined here (:class:`ParseStage` …
+:class:`HierarchyStage`).  :meth:`GanaPipeline.run_staged` exposes the
+full surface — per-stage artifact caching and incremental recompute
+(``artifact_cache``), early stop (``stop_after``), resume from saved
+artifacts (``resume_from``), artifact export (``save_artifacts``).
+The pre-refactor single-function implementation is kept verbatim as
+:meth:`GanaPipeline._run_monolith`, the behavioral reference the
+golden tests compare against.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -48,9 +60,33 @@ from repro.core.postprocess import (
     apply_port_rules,
     postprocess_ccc,
 )
+from repro.core.stages import (
+    AnnotatedDesign,
+    Artifact,
+    FeaturedGraph,
+    FlatDesign,
+    GcnPrediction,
+    ParsedDeck,
+    Post1Result,
+    Post2Result,
+    PrimitiveMatchCache,
+    RunContext,
+    StagedRun,
+    StagedRunner,
+    StageName,
+    annotator_fingerprint,
+    content_fingerprint,
+    load_artifacts,
+    reset_power_net_memo,
+)
 from repro.graph.bipartite import CircuitGraph
 from repro.graph.features import NetRole
-from repro.primitives.library import PrimitiveLibrary, extended_library
+from repro.primitives.library import (
+    PrimitiveLibrary,
+    extended_library,
+    library_fingerprint,
+)
+from repro.runtime.cache import ArtifactCache
 from repro.runtime.resilience import (
     Diagnostic,
     FailureReport,
@@ -285,6 +321,8 @@ class GanaPipeline:
         infer_testbench: bool = True,
         mode: str = "strict",
         profile: bool = False,
+        artifact_cache: ArtifactCache | str | Path | None = None,
+        save_artifacts: str | Path | None = None,
     ) -> PipelineResult:
         """Execute the full flow on a SPICE deck / netlist / flat circuit.
 
@@ -306,7 +344,141 @@ class GanaPipeline:
         exceptions are tagged with the stage they came from (``parse``,
         ``preprocess``, ``graph``, ``gcn``, ``post1``, ``post2``,
         ``hierarchy``) for :func:`~repro.runtime.resilience.failure_report`.
+
+        ``artifact_cache`` (an
+        :class:`~repro.runtime.cache.ArtifactCache` or a directory
+        path) turns on per-stage incremental recompute: stages whose
+        derivation fingerprint is unchanged load from the cache instead
+        of re-running — e.g. re-annotating with a different primitive
+        library reuses the parse/preprocess/graph/GCN artifacts and
+        recomputes only Postprocessing I onwards.  ``save_artifacts``
+        writes every stage's artifact under the given directory (for
+        later ``run_staged(resume_from=...)``).  Both default to off;
+        the default call is byte-identical to the legacy monolith.
         """
+        profiler = None
+        if profile:
+            from repro.runtime.profile import PipelineProfiler
+
+            profiler = PipelineProfiler()
+        staged = self.run_staged(
+            netlist,
+            net_roles=net_roles,
+            port_labels=port_labels,
+            name=name,
+            infer_testbench=infer_testbench,
+            mode=mode,
+            profiler=profiler,
+            artifact_cache=artifact_cache,
+            save_artifacts=save_artifacts,
+        )
+        return self.result_from_staged(staged, profiler=profiler)
+
+    def run_staged(
+        self,
+        netlist: str | Netlist | Circuit | None = None,
+        net_roles: dict[str, NetRole] | None = None,
+        port_labels: dict[str, str] | None = None,
+        name: str = "",
+        infer_testbench: bool = True,
+        mode: str = "strict",
+        profiler=None,
+        artifact_cache: ArtifactCache | str | Path | None = None,
+        save_artifacts: str | Path | None = None,
+        resume_from=None,
+        stop_after: StageName | str | None = None,
+    ) -> StagedRun:
+        """Run the stage chain with full staged-execution control.
+
+        Returns the :class:`~repro.core.stages.StagedRun` (artifacts,
+        per-stage seconds, cache hits) instead of a
+        :class:`PipelineResult`; feed a complete run through
+        :meth:`result_from_staged` to get the classic result object.
+
+        ``stop_after`` halts the chain after the named stage
+        (:class:`~repro.core.stages.StageName` or its string value).
+        ``resume_from`` seeds artifacts — an
+        :class:`~repro.core.stages.Artifact`, a saved artifact file, a
+        directory of them, or an iterable of any of those; the chain
+        restarts after the furthest seeded stage, so ``netlist`` may be
+        omitted when resuming.  ``artifact_cache`` / ``save_artifacts``
+        as in :meth:`run`.
+        """
+        cache = artifact_cache
+        if cache is not None and not isinstance(cache, ArtifactCache):
+            cache = ArtifactCache(cache)
+        resume: list[Artifact] = []
+        if resume_from is not None:
+            candidates = (
+                [resume_from]
+                if isinstance(resume_from, (str, Path, Artifact))
+                else list(resume_from)
+            )
+            for item in candidates:
+                if isinstance(item, Artifact):
+                    resume.append(item)
+                else:
+                    resume.extend(load_artifacts(item))
+        ctx = RunContext(
+            pipeline=self,
+            netlist=netlist,
+            net_roles=net_roles,
+            port_labels=port_labels,
+            name=name,
+            infer_testbench=infer_testbench,
+            mode=mode,
+            profiler=profiler,
+            cache=cache,
+            save_dir=Path(save_artifacts) if save_artifacts else None,
+        )
+        runner = StagedRunner(default_stages())
+        return runner.execute(ctx, resume=resume, stop_after=stop_after)
+
+    def result_from_staged(
+        self, staged: StagedRun, profiler=None
+    ) -> PipelineResult:
+        """Assemble the classic :class:`PipelineResult` from a complete
+        staged run (raises if the run stopped before ``hierarchy``)."""
+        final = staged.final
+        timings = staged.timings()
+        profile_dict = None
+        if profiler is not None:
+            for stage_name, seconds in timings.items():
+                profiler.record_stage(stage_name, seconds)
+            profile_dict = profiler.as_dict()
+        return PipelineResult(
+            graph=final.gcn_annotation.graph,
+            gcn_annotation=final.gcn_annotation,
+            post1=final.post1,
+            post2=final.post2,
+            hierarchy=final.hierarchy,
+            constraints=final.constraints,
+            preprocess_report=final.report,
+            timings=timings,
+            diagnostics=list(staged.diagnostics),
+            degraded=final.degraded,
+            degraded_reason=final.degraded_reason,
+            profile=profile_dict,
+        )
+
+    def _run_monolith(
+        self,
+        netlist: str | Netlist | Circuit,
+        net_roles: dict[str, NetRole] | None = None,
+        port_labels: dict[str, str] | None = None,
+        name: str = "",
+        infer_testbench: bool = True,
+        mode: str = "strict",
+        profile: bool = False,
+    ) -> PipelineResult:
+        """The pre-staged single-function implementation, kept verbatim.
+
+        This is the behavioral reference for the staged runner: the
+        golden tests assert :meth:`run` produces a semantically
+        identical :class:`PipelineResult` on every example netlist.  Do
+        not add features here — it exists to be compared against.
+        """
+        reset_power_net_memo()
         timings: dict[str, float] = {}
         diagnostics: list[Diagnostic] = []
         lenient = mode == "lenient"
@@ -475,6 +647,7 @@ class GanaPipeline:
         timeout: float | None = None,
         pool_retries: int = 2,
         profile: bool = False,
+        artifact_cache: ArtifactCache | str | Path | None = None,
     ) -> list[PipelineResult | FailureReport]:
         """Annotate a fleet of netlists, in parallel where possible.
 
@@ -506,6 +679,12 @@ class GanaPipeline:
         The trained pipeline ships to each worker once (pool
         initializer), not once per netlist, so per-item IPC stays
         proportional to the netlist text + result.
+
+        ``artifact_cache`` (an
+        :class:`~repro.runtime.cache.ArtifactCache` or directory path)
+        is forwarded to every item's :meth:`run`: the cache object is
+        just a directory handle, so it pickles to pool workers and the
+        whole fleet shares one on-disk artifact store.
         """
         if on_error not in ("raise", "report"):
             raise ValueError(
@@ -531,6 +710,7 @@ class GanaPipeline:
                     "infer_testbench": infer_testbench,
                     "mode": mode,
                     "profile": profile,
+                    "artifact_cache": artifact_cache,
                 },
             }
             for i, netlist in enumerate(netlists)
@@ -546,6 +726,314 @@ class GanaPipeline:
             initargs=(self,),
             pool_retries=pool_retries,
         )
+
+
+# ---------------------------------------------------------------------------
+# Concrete stages (the Stage[I, O] implementations run() executes)
+# ---------------------------------------------------------------------------
+
+
+class ParseStage:
+    """``parse``: SPICE text (or a pre-parsed object) → :class:`ParsedDeck`."""
+
+    name = StageName.PARSE
+
+    def cache_key(self, upstream_fp: str | None, ctx: RunContext) -> str:
+        source = ctx.netlist
+        if isinstance(source, str):
+            root = content_fingerprint("spice-text", source)
+        else:
+            # Netlist/Circuit are plain dataclasses whose reprs cover
+            # every field deterministically; hashing the repr is ~5x
+            # cheaper than the generic structural walk, and this key is
+            # recomputed on every warm run.
+            root = content_fingerprint("netlist-object", repr(source))
+        return content_fingerprint("stage", self.name.value, root, ctx.mode)
+
+    def run(self, upstream: None, ctx: RunContext) -> ParsedDeck:
+        source = ctx.netlist
+        if source is None:
+            raise ValueError(
+                "no input netlist and no artifact to resume from"
+            )
+        if isinstance(source, str):
+            source = parse_netlist(source, mode=ctx.mode)
+        if isinstance(source, Netlist):
+            ctx.diagnostics.extend(source.diagnostics)
+        return ParsedDeck(
+            source=source,
+            mode=ctx.mode,
+            diagnostics=tuple(ctx.diagnostics),
+        )
+
+
+class PreprocessStage:
+    """``preprocess``: flatten, infer testbench roles, reduce."""
+
+    name = StageName.PREPROCESS
+
+    def cache_key(self, upstream_fp: str | None, ctx: RunContext) -> str | None:
+        if upstream_fp is None:
+            return None
+        return content_fingerprint(
+            "stage",
+            self.name.value,
+            upstream_fp,
+            ctx.infer_testbench,
+            ctx.port_labels,
+            ctx.net_roles,
+        )
+
+    def run(self, upstream: ParsedDeck, ctx: RunContext) -> FlatDesign:
+        source = upstream.source
+        lenient = ctx.mode == "lenient"
+        # Flatten failures keep their historical "parse" failure tag
+        # (innermost stage guard wins).
+        with stage(StageName.PARSE, diagnostics=ctx.diagnostics):
+            if isinstance(source, Netlist):
+                flat = flatten(
+                    source,
+                    diagnostics=ctx.diagnostics if lenient else None,
+                )
+            else:
+                flat = source
+        port_labels = ctx.port_labels
+        net_roles = ctx.net_roles
+        if ctx.infer_testbench and any(
+            d.kind.is_source for d in flat.devices
+        ):
+            from repro.core.testbench import (
+                infer_net_roles,
+                infer_port_labels,
+            )
+
+            inferred_labels = infer_port_labels(flat)
+            inferred_labels.update(port_labels or {})
+            port_labels = inferred_labels
+            inferred_roles = infer_net_roles(flat)
+            inferred_roles.update(net_roles or {})
+            net_roles = inferred_roles
+        reduced, report = preprocess(flat)
+        return FlatDesign(
+            flat=flat,
+            reduced=reduced,
+            report=report,
+            design_name=flat.name,
+            port_labels=port_labels,
+            net_roles=net_roles,
+            diagnostics=tuple(ctx.diagnostics),
+        )
+
+
+class GraphStage:
+    """``graph``: reduced circuit → bipartite element/net graph."""
+
+    name = StageName.GRAPH
+
+    def cache_key(self, upstream_fp: str | None, ctx: RunContext) -> str | None:
+        if upstream_fp is None:
+            return None
+        return content_fingerprint("stage", self.name.value, upstream_fp)
+
+    def run(self, upstream: FlatDesign, ctx: RunContext) -> FeaturedGraph:
+        graph = CircuitGraph.from_circuit(upstream.reduced)
+        return FeaturedGraph(
+            graph=graph,
+            design_name=upstream.design_name,
+            report=upstream.report,
+            port_labels=upstream.port_labels,
+            net_roles=upstream.net_roles,
+            diagnostics=tuple(ctx.diagnostics),
+        )
+
+
+class GcnStage:
+    """``gcn``: GCN inference with graceful degradation."""
+
+    name = StageName.GCN
+
+    def cache_key(self, upstream_fp: str | None, ctx: RunContext) -> str | None:
+        pipeline = ctx.pipeline
+        if upstream_fp is None:
+            return None
+        if pipeline.fallback_recognizer is not None and pipeline.degrade:
+            # An injected fallback has no stable fingerprint; a cached
+            # degraded annotation could silently outlive it.
+            return None
+        return content_fingerprint(
+            "stage",
+            self.name.value,
+            upstream_fp,
+            annotator_fingerprint(pipeline.annotator),
+            pipeline.degrade,
+            pipeline.confidence_floor,
+        )
+
+    def run(self, upstream: FeaturedGraph, ctx: RunContext) -> GcnPrediction:
+        pipeline = ctx.pipeline
+        graph = upstream.graph
+        degraded_reason: str | None = None
+        try:
+            annotation = pipeline.annotator.annotate(
+                graph, net_roles=upstream.net_roles
+            )
+        except Exception as exc:
+            if not pipeline.degrade:
+                raise
+            degraded_reason = (
+                f"GCN inference failed "
+                f"({type(exc).__name__}: {exc}); fell back to the "
+                f"template-library classifier"
+            )
+        else:
+            if (
+                pipeline.degrade
+                and pipeline.confidence_floor > 0.0
+                and annotation.probabilities is not None
+                and graph.n_vertices > 0
+            ):
+                top = annotation.probabilities.max(axis=1)
+                if float(top.max()) < pipeline.confidence_floor:
+                    degraded_reason = (
+                        f"every vertex confidence below the "
+                        f"{pipeline.confidence_floor:g} floor; fell back "
+                        f"to the template-library classifier"
+                    )
+        if degraded_reason is not None:
+            annotation = pipeline._degraded_annotation(graph)
+        return GcnPrediction(
+            annotation=annotation,
+            design_name=upstream.design_name,
+            report=upstream.report,
+            port_labels=upstream.port_labels,
+            degraded=degraded_reason is not None,
+            degraded_reason=degraded_reason,
+            diagnostics=tuple(ctx.diagnostics),
+        )
+
+
+class Post1Stage:
+    """``post1``: CCC vote + primitive matching (match-cache aware)."""
+
+    name = StageName.POST1
+
+    def cache_key(self, upstream_fp: str | None, ctx: RunContext) -> str | None:
+        if upstream_fp is None:
+            return None
+        return content_fingerprint(
+            "stage",
+            self.name.value,
+            upstream_fp,
+            library_fingerprint(ctx.pipeline.library),
+            ctx.pipeline.detect_bpf,
+        )
+
+    def run(self, upstream: GcnPrediction, ctx: RunContext) -> Post1Result:
+        from repro.graph.ccc import CCCPartition
+
+        pipeline = ctx.pipeline
+        match_cache = (
+            PrimitiveMatchCache(ctx.cache) if ctx.cache is not None else None
+        )
+        # The CCC partition depends only on the graph/annotation, not on
+        # the library — key it off the upstream (gcn) derivation key so
+        # a library-only change reuses it across runs.
+        partition = None
+        partition_key = None
+        if ctx.cache is not None:
+            gcn_key = ctx.stage_keys.get(StageName.GCN)
+            if gcn_key:
+                partition_key = f"ccc-partition-{gcn_key}"
+                cached = ctx.cache.load(partition_key)
+                if isinstance(cached, CCCPartition):
+                    partition = cached
+        post1 = postprocess_ccc(
+            upstream.annotation,
+            pipeline.library,
+            partition=partition,
+            detect_bpf=pipeline.detect_bpf,
+            profiler=ctx.profiler,
+            match_cache=match_cache,
+        )
+        if partition is None and partition_key is not None:
+            ctx.cache.store(partition_key, post1.partition)
+        return Post1Result(
+            post1=post1,
+            gcn_annotation=upstream.annotation,
+            design_name=upstream.design_name,
+            report=upstream.report,
+            port_labels=upstream.port_labels,
+            degraded=upstream.degraded,
+            degraded_reason=upstream.degraded_reason,
+            diagnostics=tuple(ctx.diagnostics),
+        )
+
+
+class Post2Stage:
+    """``post2``: port rules."""
+
+    name = StageName.POST2
+
+    def cache_key(self, upstream_fp: str | None, ctx: RunContext) -> str | None:
+        if upstream_fp is None:
+            return None
+        return content_fingerprint("stage", self.name.value, upstream_fp)
+
+    def run(self, upstream: Post1Result, ctx: RunContext) -> Post2Result:
+        post2 = apply_port_rules(upstream.post1, upstream.port_labels or {})
+        return Post2Result(
+            post2=post2,
+            post1=upstream.post1,
+            gcn_annotation=upstream.gcn_annotation,
+            design_name=upstream.design_name,
+            report=upstream.report,
+            degraded=upstream.degraded,
+            degraded_reason=upstream.degraded_reason,
+            diagnostics=tuple(ctx.diagnostics),
+        )
+
+
+class HierarchyStage:
+    """``hierarchy``: assemble the tree + propagated constraints."""
+
+    name = StageName.HIERARCHY
+
+    def cache_key(self, upstream_fp: str | None, ctx: RunContext) -> str | None:
+        if upstream_fp is None:
+            return None
+        return content_fingerprint(
+            "stage", self.name.value, upstream_fp, ctx.name
+        )
+
+    def run(self, upstream: Post2Result, ctx: RunContext) -> AnnotatedDesign:
+        hierarchy, constraints = build_hierarchy(
+            upstream.post2, system_name=ctx.name or upstream.design_name
+        )
+        return AnnotatedDesign(
+            hierarchy=hierarchy,
+            constraints=constraints,
+            post2=upstream.post2,
+            post1=upstream.post1,
+            gcn_annotation=upstream.gcn_annotation,
+            report=upstream.report,
+            design_name=upstream.design_name,
+            degraded=upstream.degraded,
+            degraded_reason=upstream.degraded_reason,
+            diagnostics=tuple(ctx.diagnostics),
+        )
+
+
+def default_stages() -> tuple:
+    """The canonical seven-stage chain :meth:`GanaPipeline.run` executes."""
+    return (
+        ParseStage(),
+        PreprocessStage(),
+        GraphStage(),
+        GcnStage(),
+        Post1Stage(),
+        Post2Stage(),
+        HierarchyStage(),
+    )
 
 
 def _run_pipeline_job(

@@ -370,6 +370,7 @@ def postprocess_ccc(
     absorb_orphans: bool = True,
     profiler: "PipelineProfiler | None" = None,
     indexed: bool = True,
+    match_cache=None,
 ) -> PostprocessResult:
     """Postprocessing I: CCC vote, primitive annotation, stand-alone
     separation, BPF detection.  Returns a new annotation.
@@ -382,7 +383,10 @@ def postprocess_ccc(
     collects per-template matching statistics; ``indexed=False``
     selects the naive reference matcher (see
     :mod:`repro.primitives.matcher`) — the annotation is identical
-    either way.
+    either way.  ``match_cache`` (a
+    :class:`repro.core.stages.PrimitiveMatchCache`) reuses per-CCC,
+    per-template VF2 results across runs — the annotation is, again,
+    identical with or without it.
     """
     annotation = annotation.copy()
     graph = annotation.graph
@@ -401,7 +405,12 @@ def postprocess_ccc(
     rf_vocab = rf_vocab_early
 
     component_matches = annotate_components(
-        graph, partition, library, profiler=profiler, indexed=indexed
+        graph,
+        partition,
+        library,
+        profiler=profiler,
+        indexed=indexed,
+        match_cache=match_cache,
     )
     ds_drivers = (
         _ds_drivers(graph, partition) if detect_bpf and rf_vocab else None

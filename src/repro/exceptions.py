@@ -60,6 +60,10 @@ class DatasetError(GanaError):
     """Raised by dataset generators for invalid specs."""
 
 
+class ArtifactError(GanaError):
+    """Raised for unreadable, stale, or mistyped pipeline artifacts."""
+
+
 class BudgetExceeded(GanaError):
     """Raised when a search exhausts its step or wall-clock budget.
 

@@ -21,12 +21,14 @@ Use :func:`default_library` for the paper's 21 primitives, or build a
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.constraints import Constraint, ConstraintKind
 from repro.exceptions import MatchError
 from repro.graph.bipartite import CircuitGraph
 from repro.primitives.isomorphism import PatternGraph
+from repro.runtime.cache import Memo
 from repro.spice.netlist import is_ground_net, is_power_net, is_supply_net
 from repro.spice.parser import parse_netlist
 
@@ -135,6 +137,40 @@ class PrimitiveLibrary:
 
     def names(self) -> list[str]:
         return [t.name for t in self.templates]
+
+
+_TEMPLATE_FP_MEMO = Memo()
+
+
+def template_fingerprint(template: PrimitiveTemplate) -> str:
+    """Stable content fingerprint of one template's defining inputs.
+
+    ``graph`` and ``pattern`` are derived from ``spice`` in
+    ``__post_init__``, so (name, spice, constraints, port_roles) fully
+    determine matching behavior; their ``repr`` is deterministic
+    (strings, enums, tuples), which keeps this cheap enough to call per
+    (CCC, template) pair.  Memoized per template object — templates are
+    frozen after construction.
+    """
+    return _TEMPLATE_FP_MEMO.get_or_build(
+        template,
+        lambda t: hashlib.sha256(
+            repr(
+                ("template", t.name, t.spice, t.constraints, t.port_roles)
+            ).encode("utf-8")
+        ).hexdigest()[:32],
+    )
+
+
+def library_fingerprint(library: PrimitiveLibrary) -> str:
+    """Fingerprint of a whole library (order-sensitive: overlap
+    resolution visits templates largest-first with insertion order as
+    the tiebreak, so order is semantic).  Recomputed on every call —
+    the per-template digests are memoized, the join is trivial — so
+    ``library.add_spice(...)`` after a cached run is still seen."""
+    return hashlib.sha256(
+        ",".join(template_fingerprint(t) for t in library.templates).encode()
+    ).hexdigest()[:32]
 
 
 def _sym(members: tuple[str, ...], source: str) -> Constraint:

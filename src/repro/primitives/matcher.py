@@ -33,7 +33,11 @@ from repro.core.constraints import Constraint
 from repro.exceptions import BudgetExceeded
 from repro.graph.bipartite import CircuitGraph
 from repro.primitives.isomorphism import Isomorphism, VF2Matcher
-from repro.primitives.library import PrimitiveLibrary, PrimitiveTemplate
+from repro.primitives.library import (
+    PrimitiveLibrary,
+    PrimitiveTemplate,
+    template_fingerprint,
+)
 from repro.runtime.resilience import Budget
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -236,6 +240,7 @@ def annotate_primitives(
     context: "TargetContext | None" = None,
     profiler: "PipelineProfiler | None" = None,
     indexed: bool = True,
+    match_memo: dict[str, list[PrimitiveMatch]] | None = None,
 ) -> AnnotationResult:
     """Recognize every primitive in ``target``.
 
@@ -256,6 +261,18 @@ def annotate_primitives(
     library in O(1) each.  ``profiler`` (a
     :class:`~repro.runtime.profile.PipelineProfiler`) collects
     per-template wall-clock, launch, match, and skip counts.
+
+    ``match_memo`` is the sub-stage incremental-recompute hook: a
+    mutable ``{template_fingerprint: [PrimitiveMatch, ...]}`` dict of
+    *raw* per-template match lists for this exact target.  Templates
+    present in the memo skip VF2 entirely (their matches feed straight
+    into overlap resolution, which stays order- and claim-identical);
+    templates this call does compute are written back so the caller can
+    persist the memo (see
+    :class:`repro.core.stages.PrimitiveMatchCache`).  Raw match lists
+    are independent of library composition — claiming happens here,
+    afterwards — which is what makes them safely reusable across
+    library changes.
     """
     from repro.primitives.index import TargetContext, template_profile
     from repro.primitives.signatures import TargetIndex
@@ -281,18 +298,34 @@ def annotate_primitives(
         ]
         return result
 
-    if indexed:
-        context = context or TargetContext.build(target)
-        index = None
-    else:
-        index = TargetIndex.build(target)
+    index = None if indexed else TargetIndex.build(target)
     try:
         for template in library.by_size_desc():
+            # Memo first: a fully warm memo answers every template
+            # without ever paying for the target context below.
+            memo_key = None
+            if match_memo is not None:
+                memo_key = template_fingerprint(template)
+                cached = match_memo.get(memo_key)
+                if cached is not None:
+                    if profiler is not None:
+                        profiler.count("match_cache_hits")
+                    for match in cached:
+                        accept(match)
+                    continue
             profile = template_profile(template)
-            if indexed and not _kinds_coverable(profile, context):
-                if profiler is not None:
-                    profiler.record_template_skip(template.name)
-                continue
+            if indexed:
+                if context is None:
+                    context = TargetContext.build(target)
+                if not _kinds_coverable(profile, context):
+                    if profiler is not None:
+                        profiler.record_template_skip(template.name)
+                    if match_memo is not None:
+                        # A kind-rejected template's raw match list is
+                        # the empty list — memoize it so warm runs skip
+                        # the histogram test (and the context) too.
+                        match_memo[memo_key] = []
+                    continue
             started = time.perf_counter()
             matches = find_primitive_matches(
                 template,
@@ -309,6 +342,8 @@ def annotate_primitives(
                     seconds=time.perf_counter() - started,
                     matches=len(matches),
                 )
+            if match_memo is not None:
+                match_memo[memo_key] = list(matches)
             for match in matches:
                 accept(match)
     except BudgetExceeded as exc:
@@ -342,6 +377,7 @@ def annotate_components(
     budget: Budget | None = None,
     profiler: "PipelineProfiler | None" = None,
     indexed: bool = True,
+    match_cache=None,
 ) -> dict[int, AnnotationResult]:
     """Per-CCC primitive annotation: component id → its matches.
 
@@ -351,17 +387,35 @@ def annotate_components(
     kind-histogram test reject most templates per component outright.
     Template profiles are shared across every component; each component
     pays for one subgraph + one :class:`TargetContext`.
+
+    ``match_cache`` (a
+    :class:`repro.core.stages.PrimitiveMatchCache`-shaped object) makes
+    matching incremental across runs: each subgraph's per-template raw
+    match lists are loaded by subgraph content key, templates already
+    present skip VF2, and any newly computed lists are stored back —
+    but only when the component finished cleanly (a budget blow-up
+    must not persist a partial memo).
     """
     results: dict[int, AnnotationResult] = {}
     for cid, members in enumerate(partition.components):
         if profiler is not None:
             profiler.count("ccc_matched")
         subgraph = graph.subgraph_of_elements(members)
+        memo = None
+        cache_key = None
+        known = 0
+        if match_cache is not None:
+            cache_key = match_cache.subgraph_key(subgraph)
+            memo = match_cache.load(cache_key)
+            known = len(memo)
         results[cid] = annotate_primitives(
             subgraph,
             library,
             budget=budget,
             profiler=profiler,
             indexed=indexed,
+            match_memo=memo,
         )
+        if match_cache is not None and len(memo) > known:
+            match_cache.store(cache_key, memo)
     return results

@@ -26,6 +26,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import pickle
 import tempfile
 import weakref
 from pathlib import Path
@@ -209,6 +210,95 @@ class ModelCache:
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob("*.npz"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class ArtifactCache:
+    """Content-addressed pickle store for pipeline stage artifacts.
+
+    The staged runner (:mod:`repro.core.stages`) keys every stage's
+    artifact by its derivation fingerprint — a hash chain over the
+    input netlist and each stage's configuration — so an unchanged
+    fingerprint is a cache hit and the stage never re-runs.  Same
+    contract as :class:`ModelCache`: writes are atomic (temp file +
+    ``os.replace``), any read problem is a miss (the bad entry is
+    removed), and a failing write is swallowed — the cache accelerates,
+    it is never a correctness dependency.
+
+    Layout: one ``<key>.pkl`` per entry under ``directory`` (default
+    ``<cache dir>/artifacts``).
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = (
+            Path(directory) if directory else default_cache_dir() / "artifacts"
+        )
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def store(self, key: str, value: Any) -> Path | None:
+        """Atomically persist ``value`` under ``key``; None on failure."""
+        path = self.path_for(key)
+        payload = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "value": value,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key[:32]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(
+                        payload, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except (OSError, pickle.PicklingError):
+            return None
+        return path
+
+    def load(self, key: str) -> Any:
+        """The value stored under ``key``, or None on any problem."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format_version") != CACHE_FORMAT_VERSION
+                or payload.get("key") != key
+            ):
+                raise ValueError("stale or foreign cache entry")
+            return payload["value"]
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def entries(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.pkl"))
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

@@ -58,16 +58,20 @@ class PipelineProfiler:
     # -- recording ---------------------------------------------------
 
     @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Time a block as pipeline stage ``name`` (additive on re-entry)."""
+    def stage(self, name) -> Iterator[None]:
+        """Time a block as pipeline stage ``name`` (additive on re-entry).
+
+        ``name`` is a string or a ``repro.core.stages.StageName``
+        member; labels are always stored as string values.
+        """
         started = time.perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - started
-            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+            self.record_stage(name, time.perf_counter() - started)
 
-    def record_stage(self, name: str, seconds: float) -> None:
+    def record_stage(self, name, seconds: float) -> None:
+        name = getattr(name, "value", name)
         self.stages[name] = self.stages.get(name, 0.0) + seconds
 
     def _stats(self, template: str) -> TemplateStats:

@@ -116,6 +116,10 @@ class FailureReport:
     index: int | None = None  # position in the input batch
     name: str = ""  # the item's system name, when given
     traceback: str = ""  # formatted traceback of the proximate error
+    #: Partial per-stage profile gathered before the failure (plain
+    #: dict, same shape as ``PipelineResult.profile``) when the run was
+    #: profiling; survives pickling across the batch pool.
+    profile: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -146,9 +150,11 @@ def failure_report(
 ) -> FailureReport:
     """Build a :class:`FailureReport` from an escaped exception.
 
-    The failing stage and any pre-failure diagnostics come from the
-    ``_gana_stage`` / ``_gana_diagnostics`` attributes the :func:`stage`
-    guard stamps onto escaping exceptions.
+    The failing stage, any pre-failure diagnostics, and the partial
+    profile come from the ``_gana_stage`` / ``_gana_diagnostics`` /
+    ``_gana_profile`` attributes the :func:`stage` guard (and the
+    staged runner) stamp onto escaping exceptions; ``BaseException``
+    pickles its ``__dict__``, so the attributes survive the pool.
     """
     diagnostics = list(getattr(exc, "_gana_diagnostics", ()) or ())
     if isinstance(exc, SpiceSyntaxError) and not diagnostics:
@@ -163,6 +169,7 @@ def failure_report(
         traceback="".join(
             traceback.format_exception(type(exc), exc, exc.__traceback__)
         ),
+        profile=getattr(exc, "_gana_profile", None),
     )
 
 
@@ -174,12 +181,16 @@ def stage(
 ):
     """Tag escaping exceptions with the pipeline stage they came from.
 
-    The innermost tag wins (set only if absent), so nesting a fine
+    ``name`` is a plain string or a
+    :class:`repro.core.stages.StageName` member (the canonical stage
+    vocabulary) — the tag is always stored as its string value.  The
+    innermost tag wins (set only if absent), so nesting a fine
     ``stage("parse")`` inside a coarse ``stage("preprocess", timings)``
     yields ``parse`` as the failure stage while the timing lands under
     the coarse key.  ``diagnostics`` gathered before the failure ride
     along on the exception for :func:`failure_report`.
     """
+    name = getattr(name, "value", name)
     start = time.perf_counter()
     try:
         yield

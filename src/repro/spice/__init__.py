@@ -17,6 +17,7 @@ from repro.spice.netlist import (
     is_supply_net,
     make_mos,
     make_passive,
+    reset_power_net_memo,
 )
 from repro.spice.parser import parse_netlist
 from repro.spice.preprocess import PreprocessReport, preprocess
@@ -41,6 +42,7 @@ __all__ = [
     "make_passive",
     "parse_netlist",
     "preprocess",
+    "reset_power_net_memo",
     "write_circuit",
     "write_netlist",
 ]

@@ -16,7 +16,6 @@ Net-name conventions used throughout the package:
 from __future__ import annotations
 
 import enum
-import functools
 import re
 from dataclasses import dataclass, field, replace
 from typing import Iterator
@@ -37,15 +36,37 @@ def is_ground_net(net: str) -> bool:
     return bool(GROUND_NET_RE.match(net))
 
 
-@functools.lru_cache(maxsize=4096)
+_POWER_NET_MEMO: dict[str, bool] = {}
+_POWER_NET_MEMO_MAX = 4096
+
+
 def is_power_net(net: str) -> bool:
     """True for either supply or ground nets.
 
-    Pure function of the name; memoized because the graph and
-    postprocessing layers ask about the same handful of rail names
-    thousands of times per circuit.
+    Pure function of the name *under fixed rail conventions*; memoized
+    because the graph and postprocessing layers ask about the same
+    handful of rail names thousands of times per circuit.  The memo is
+    an explicit module dict rather than ``lru_cache`` so each pipeline
+    run can clear it (:func:`reset_power_net_memo`): two decks
+    annotated back to back under different conventions (customized
+    ``SUPPLY_NET_RE`` / ``GROUND_NET_RE``) must not poison each other
+    through a process-wide cache.
     """
-    return is_supply_net(net) or is_ground_net(net)
+    cached = _POWER_NET_MEMO.get(net)
+    if cached is None:
+        if len(_POWER_NET_MEMO) >= _POWER_NET_MEMO_MAX:
+            _POWER_NET_MEMO.clear()
+        cached = _POWER_NET_MEMO[net] = is_supply_net(net) or is_ground_net(net)
+    return cached
+
+
+def reset_power_net_memo() -> None:
+    """Drop every memoized :func:`is_power_net` answer.
+
+    Called at the start of each pipeline run so rail-role answers never
+    leak across decks that use the same net name differently.
+    """
+    _POWER_NET_MEMO.clear()
 
 
 class DeviceKind(enum.Enum):

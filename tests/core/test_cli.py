@@ -164,6 +164,98 @@ class TestExportDir:
         assert isinstance(payload, list)
 
 
+class TestStagedFlags:
+    """ISSUE 4: --stop-after / --resume-from / --save-artifacts /
+    --artifact-cache on the annotate subcommand."""
+
+    @pytest.fixture()
+    def quick_model(self, tmp_path, monkeypatch):
+        import repro.datasets.synth as synth
+
+        original = synth.pretrain_annotator
+        monkeypatch.setattr(
+            synth,
+            "pretrain_annotator",
+            lambda task, quick=True, seed=0, **kw: original(
+                task, quick=quick, seed=seed, train_size=16
+            ),
+        )
+        model_path = tmp_path / "m.npz"
+        main(["train", "--task", "ota", "--quick", "--out", str(model_path)])
+        return model_path
+
+    def test_stop_after_choices_are_canonical(self):
+        from repro.core.stages import STAGE_ORDER
+
+        for name in (s.value for s in STAGE_ORDER):
+            args = build_parser().parse_args(
+                ["annotate", "x.sp", "--stop-after", name]
+            )
+            assert args.stop_after == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["annotate", "x.sp", "--stop-after", "not-a-stage"]
+            )
+
+    def test_stop_save_resume_round_trip(
+        self, tmp_path, deck_path, quick_model, capsys
+    ):
+        art_dir = tmp_path / "artifacts"
+        code = main(
+            ["annotate", str(deck_path), "--task", "ota",
+             "--model", str(quick_model),
+             "--stop-after", "graph", "--save-artifacts", str(art_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stopped after stage 'graph'" in out
+        saved = sorted(p.name for p in art_dir.glob("*.artifact.pkl"))
+        assert saved == [
+            "0-parse.artifact.pkl",
+            "1-preprocess.artifact.pkl",
+            "2-graph.artifact.pkl",
+        ]
+
+        # Resume without re-giving the netlist: the run completes.
+        code = main(
+            ["annotate", "--task", "ota", "--model", str(quick_model),
+             "--resume-from", str(art_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hierarchy" in out
+        assert "constraints" in out
+
+    def test_artifact_cache_flag_populates_cache(
+        self, tmp_path, deck_path, quick_model, capsys
+    ):
+        cache_dir = tmp_path / "artifact-cache"
+        for _ in range(2):  # cold run stores, warm run loads
+            assert (
+                main(
+                    ["annotate", str(deck_path), "--task", "ota",
+                     "--model", str(quick_model),
+                     "--artifact-cache", str(cache_dir)]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert list(cache_dir.glob("*.pkl"))
+
+    def test_staged_flags_reject_batches(self, deck_path, capsys):
+        code = main(
+            ["annotate", str(deck_path), str(deck_path),
+             "--stop-after", "graph"]
+        )
+        assert code == 2
+        assert "single netlist" in capsys.readouterr().err
+
+    def test_no_netlist_and_no_resume_rejected(self, capsys):
+        code = main(["annotate"])
+        assert code == 2
+        assert "resume-from" in capsys.readouterr().err
+
+
 class TestErrorHandling:
     """ISSUE 2 satellite: GanaError → one-line diagnostic, non-zero exit."""
 

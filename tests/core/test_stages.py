@@ -1,0 +1,338 @@
+"""Staged pipeline architecture (ISSUE 4).
+
+Golden equivalence: the staged ``run()`` must produce a semantically
+identical :class:`PipelineResult` to the legacy monolith
+(``_run_monolith``) on every example netlist.  Plus: artifact
+save/load round-trips, incremental recompute via the artifact cache,
+early stop, resume, and the canonical stage-name enum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GanaPipeline
+from repro.core.stages import (
+    ARTIFACT_TYPES,
+    STAGE_ORDER,
+    TIMING_STAGES,
+    AnnotatedDesign,
+    Artifact,
+    StageName,
+    coerce_stage,
+    content_fingerprint,
+    fold_timings,
+    load_artifacts,
+    pipeline_result_fingerprint,
+)
+from repro.datasets.systems import phased_array, switched_cap_filter
+from repro.exceptions import ArtifactError
+from repro.runtime.cache import ArtifactCache
+from tests.conftest import CURRENT_MIRROR_DECK, DIFF_OTA_DECK, HIERARCHICAL_DECK
+
+
+@pytest.fixture(scope="module")
+def ota_pipeline(quick_ota_annotator):
+    return GanaPipeline(annotator=quick_ota_annotator)
+
+
+@pytest.fixture(scope="module")
+def rf_pipeline(quick_rf_annotator):
+    return GanaPipeline(annotator=quick_rf_annotator)
+
+
+#: (case id, deck factory) — every example netlist in the repo.  The
+#: factory returns (netlist, run kwargs); decks are strings, systems
+#: are flat circuits with port labels.
+OTA_CASES = {
+    "diff_ota": lambda: (DIFF_OTA_DECK, {}),
+    "current_mirror": lambda: (CURRENT_MIRROR_DECK, {}),
+    "hierarchical": lambda: (HIERARCHICAL_DECK, {}),
+    "switched_cap_filter": lambda: (
+        switched_cap_filter().circuit,
+        {"port_labels": switched_cap_filter().port_labels},
+    ),
+}
+RF_CASES = {
+    "phased_array_2ch": lambda: (
+        phased_array(n_channels=2).circuit,
+        {"port_labels": phased_array(n_channels=2).port_labels},
+    ),
+}
+
+
+def _assert_results_equivalent(got, want):
+    """Field-by-field equality of two PipelineResults (minus timings)."""
+    assert pipeline_result_fingerprint(got) == pipeline_result_fingerprint(want)
+    assert got.annotation.element_classes == want.annotation.element_classes
+    assert got.annotation.net_classes == want.annotation.net_classes
+    assert np.array_equal(
+        got.gcn_annotation.vertex_classes, want.gcn_annotation.vertex_classes
+    )
+    assert got.hierarchy.render() == want.hierarchy.render()
+    assert list(got.constraints) == list(want.constraints)
+    assert got.diagnostics == want.diagnostics
+    assert (got.degraded, got.degraded_reason) == (
+        want.degraded,
+        want.degraded_reason,
+    )
+    assert set(got.timings) == set(want.timings)
+
+
+class TestGoldenEquivalence:
+    """``run()`` (staged) ≡ ``_run_monolith()`` on every example."""
+
+    @pytest.mark.parametrize("case", sorted(OTA_CASES))
+    def test_ota_examples(self, ota_pipeline, case):
+        netlist, kwargs = OTA_CASES[case]()
+        staged = ota_pipeline.run(netlist, name=case, **kwargs)
+        legacy = ota_pipeline._run_monolith(netlist, name=case, **kwargs)
+        _assert_results_equivalent(staged, legacy)
+
+    @pytest.mark.parametrize("case", sorted(RF_CASES))
+    def test_rf_examples(self, rf_pipeline, case):
+        netlist, kwargs = RF_CASES[case]()
+        staged = rf_pipeline.run(netlist, name=case, **kwargs)
+        legacy = rf_pipeline._run_monolith(netlist, name=case, **kwargs)
+        _assert_results_equivalent(staged, legacy)
+
+    def test_lenient_mode_equivalent(self, ota_pipeline):
+        deck = DIFF_OTA_DECK + "\nq_bogus a b c npn\n.end\n"
+        staged = ota_pipeline.run(deck, mode="lenient")
+        legacy = ota_pipeline._run_monolith(deck, mode="lenient")
+        _assert_results_equivalent(staged, legacy)
+        assert staged.diagnostics  # the bogus card was reported, not fatal
+
+    def test_profile_has_same_stages(self, ota_pipeline):
+        staged = ota_pipeline.run(DIFF_OTA_DECK, profile=True)
+        legacy = ota_pipeline._run_monolith(DIFF_OTA_DECK, profile=True)
+        assert set(staged.profile["stages"]) == set(legacy.profile["stages"])
+
+    def test_final_annotation_identity_preserved(self, ota_pipeline):
+        result = ota_pipeline.run(DIFF_OTA_DECK)
+        assert result.annotation is result.post2.annotation
+
+
+class TestStageNames:
+    """Satellite: one canonical stage-name enum everywhere."""
+
+    def test_timing_stages_match_result_keys(self, ota_pipeline):
+        result = ota_pipeline.run(CURRENT_MIRROR_DECK)
+        assert set(result.timings) == set(TIMING_STAGES)
+
+    def test_stage_order_covers_artifact_types(self):
+        assert tuple(ARTIFACT_TYPES) == STAGE_ORDER
+        for name, artifact_type in ARTIFACT_TYPES.items():
+            assert artifact_type.stage is name
+
+    def test_coerce_stage(self):
+        assert coerce_stage("gcn") is StageName.GCN
+        assert coerce_stage(StageName.POST1) is StageName.POST1
+        with pytest.raises(ValueError):
+            coerce_stage("not-a-stage")
+
+    def test_fold_timings_folds_parse_into_preprocess(self):
+        folded = fold_timings(
+            {StageName.PARSE: 1.0, StageName.PREPROCESS: 0.5, StageName.GCN: 2.0}
+        )
+        assert folded == {"preprocess": 1.5, "gcn": 2.0}
+
+    def test_resilience_stage_accepts_enum(self):
+        from repro.runtime.resilience import stage
+
+        timings: dict[str, float] = {}
+        with pytest.raises(RuntimeError) as err:
+            with stage(StageName.GRAPH, timings):
+                raise RuntimeError("boom")
+        assert err.value._gana_stage == "graph"
+        assert "graph" in timings
+
+    def test_profiler_accepts_enum(self):
+        from repro.runtime.profile import PipelineProfiler
+
+        profiler = PipelineProfiler()
+        profiler.record_stage(StageName.POST1, 0.25)
+        assert profiler.as_dict()["stages"]["post1"] == 0.25
+
+
+class TestArtifactRoundTrip:
+    """Every artifact type saves and loads back fingerprint-identical."""
+
+    @pytest.fixture(scope="class")
+    def saved_runs(self, ota_pipeline, rf_pipeline, tmp_path_factory):
+        runs = []
+        for case in sorted(OTA_CASES):
+            netlist, kwargs = OTA_CASES[case]()
+            out = tmp_path_factory.mktemp(f"artifacts-{case}")
+            staged = ota_pipeline.run_staged(
+                netlist, name=case, save_artifacts=out, **kwargs
+            )
+            runs.append((case, staged, out))
+        for case in sorted(RF_CASES):
+            netlist, kwargs = RF_CASES[case]()
+            out = tmp_path_factory.mktemp(f"artifacts-{case}")
+            staged = rf_pipeline.run_staged(
+                netlist, name=case, save_artifacts=out, **kwargs
+            )
+            runs.append((case, staged, out))
+        return runs
+
+    def test_all_stages_saved(self, saved_runs):
+        for _case, staged, _out in saved_runs:
+            assert staged.complete
+            assert set(staged.saved) == set(STAGE_ORDER)
+
+    def test_round_trip_fingerprint_identical(self, saved_runs):
+        for case, staged, _out in saved_runs:
+            for name, artifact in staged.artifacts.items():
+                loaded = type(artifact).load(staged.saved[name])
+                assert type(loaded) is type(artifact), case
+                assert loaded.stage is artifact.stage
+                assert (
+                    loaded.content_fingerprint()
+                    == artifact.content_fingerprint()
+                ), f"{case}/{name.value} changed across save/load"
+                assert loaded.fingerprint == artifact.fingerprint
+
+    def test_load_artifacts_directory(self, saved_runs):
+        _case, staged, out = saved_runs[0]
+        loaded = load_artifacts(out)
+        assert [a.stage for a in loaded] == list(STAGE_ORDER)
+        final = loaded[-1]
+        assert isinstance(final, AnnotatedDesign)
+        assert final.hierarchy.render() == staged.final.hierarchy.render()
+
+    def test_load_rejects_wrong_type(self, saved_runs):
+        _case, staged, _out = saved_runs[0]
+        with pytest.raises(ArtifactError):
+            AnnotatedDesign.load(staged.saved[StageName.PARSE])
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.artifact.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(ArtifactError):
+            Artifact.load(path)
+
+    def test_content_fingerprint_is_stable(self, saved_runs):
+        for _case, staged, _out in saved_runs:
+            for artifact in staged.artifacts.values():
+                assert (
+                    artifact.content_fingerprint()
+                    == artifact.content_fingerprint()
+                )
+
+    def test_content_fingerprint_discriminates(self):
+        assert content_fingerprint("a") != content_fingerprint("b")
+        assert content_fingerprint(1) != content_fingerprint("1")
+        assert content_fingerprint([1, 2]) != content_fingerprint((1, 2))
+        assert content_fingerprint({"x": 1, "y": 2}) == content_fingerprint(
+            {"y": 2, "x": 1}
+        )
+
+
+class TestIncrementalRecompute:
+    """Unchanged fingerprints ⇒ cache hits; changed config ⇒ partial."""
+
+    def test_warm_run_hits_every_stage(self, ota_pipeline, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = ota_pipeline.run_staged(DIFF_OTA_DECK, artifact_cache=cache)
+        assert cold.cache_hits == ()
+        warm = ota_pipeline.run_staged(DIFF_OTA_DECK, artifact_cache=cache)
+        assert set(warm.cache_hits) == set(STAGE_ORDER)
+        assert pipeline_result_fingerprint(
+            ota_pipeline.result_from_staged(warm)
+        ) == pipeline_result_fingerprint(ota_pipeline.result_from_staged(cold))
+
+    def test_library_change_reuses_upstream_stages(
+        self, quick_ota_annotator, tmp_path
+    ):
+        from repro.primitives.library import default_library, extended_library
+
+        cache = ArtifactCache(tmp_path / "cache")
+        base = GanaPipeline(
+            annotator=quick_ota_annotator, library=default_library()
+        )
+        base.run_staged(HIERARCHICAL_DECK, artifact_cache=cache)
+
+        changed = GanaPipeline(
+            annotator=quick_ota_annotator, library=extended_library()
+        )
+        warm = changed.run_staged(HIERARCHICAL_DECK, artifact_cache=cache)
+        # parse→gcn are library-independent: all reused.  post1 onwards
+        # depends on the library fingerprint: all recomputed.
+        assert set(warm.cache_hits) == {
+            StageName.PARSE,
+            StageName.PREPROCESS,
+            StageName.GRAPH,
+            StageName.GCN,
+        }
+        fresh = changed._run_monolith(HIERARCHICAL_DECK)
+        _assert_results_equivalent(changed.result_from_staged(warm), fresh)
+
+    def test_deck_change_invalidates_everything(self, ota_pipeline, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        ota_pipeline.run_staged(DIFF_OTA_DECK, artifact_cache=cache)
+        other = ota_pipeline.run_staged(CURRENT_MIRROR_DECK, artifact_cache=cache)
+        assert other.cache_hits == ()
+
+    def test_port_labels_keep_parse_hit(self, ota_pipeline, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        ota_pipeline.run_staged(DIFF_OTA_DECK, artifact_cache=cache)
+        relabeled = ota_pipeline.run_staged(
+            DIFF_OTA_DECK,
+            port_labels={"voutp": "output"},
+            artifact_cache=cache,
+        )
+        # The deck did not change, so parse is reusable; preprocess
+        # (whose key includes the labels) and everything after rerun.
+        assert set(relabeled.cache_hits) == {StageName.PARSE}
+
+
+class TestStopAndResume:
+    def test_stop_after_graph(self, ota_pipeline, tmp_path):
+        staged = ota_pipeline.run_staged(
+            DIFF_OTA_DECK, save_artifacts=tmp_path, stop_after="graph"
+        )
+        assert not staged.complete
+        assert set(staged.artifacts) == {
+            StageName.PARSE,
+            StageName.PREPROCESS,
+            StageName.GRAPH,
+        }
+        assert staged.last_artifact().stage is StageName.GRAPH
+        with pytest.raises(ArtifactError):
+            staged.final
+
+    def test_resume_completes_identically(self, ota_pipeline, tmp_path):
+        cold = ota_pipeline.run(DIFF_OTA_DECK, name="resume-case")
+        ota_pipeline.run_staged(
+            DIFF_OTA_DECK,
+            name="resume-case",
+            save_artifacts=tmp_path,
+            stop_after=StageName.GCN,
+        )
+        resumed = ota_pipeline.run_staged(
+            name="resume-case", resume_from=tmp_path
+        )
+        assert resumed.complete
+        _assert_results_equivalent(
+            ota_pipeline.result_from_staged(resumed), cold
+        )
+
+    def test_resume_from_single_artifact_object(self, ota_pipeline):
+        partial = ota_pipeline.run_staged(
+            DIFF_OTA_DECK, stop_after=StageName.POST1
+        )
+        resumed = ota_pipeline.run_staged(
+            resume_from=partial.last_artifact()
+        )
+        assert resumed.complete
+        cold = ota_pipeline.run(DIFF_OTA_DECK)
+        assert (
+            resumed.final.hierarchy.render() == cold.hierarchy.render()
+        )
+
+    def test_resume_with_nothing_fails(self, ota_pipeline):
+        with pytest.raises((ArtifactError, ValueError)):
+            ota_pipeline.run_staged(None)

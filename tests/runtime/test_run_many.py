@@ -108,3 +108,126 @@ class TestRunMany:
         batch = pipeline.run_many([decks[0]], names=["only"])
         serial = [pipeline.run(decks[0], name="only")]
         _assert_same_results(batch, serial)
+
+
+class _BoobyTrappedAnnotator:
+    """Delegates to a real annotator but explodes on decks named ``bomb``.
+
+    Module-level so it pickles by reference into pool workers; the
+    failure lands in the ``gcn`` stage, *after* preprocess/graph have
+    been profiled — exactly the partial-metadata case the satellite
+    protects.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    @property
+    def class_names(self):
+        return self.inner.class_names
+
+    @property
+    def model(self):
+        return self.inner.model
+
+    def annotate(self, graph, net_roles=None):
+        if graph.circuit.name.startswith("bomb"):
+            raise RuntimeError("gcn exploded")
+        return self.inner.annotate(graph, net_roles=net_roles)
+
+
+def _bomb_circuit():
+    from repro.spice.netlist import Circuit, DeviceKind, make_mos
+
+    return Circuit(
+        name="bomb",
+        devices=[
+            make_mos("m1", DeviceKind.NMOS, "out", "in", "gnd!"),
+            make_mos("m2", DeviceKind.PMOS, "out", "in", "vdd!"),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def fragile_pipeline(quick_ota_annotator):
+    """No degradation: the booby-trapped GCN failure escapes."""
+    return GanaPipeline(
+        annotator=_BoobyTrappedAnnotator(quick_ota_annotator), degrade=False
+    )
+
+
+class TestFailureMetadataSurvivesPool:
+    """ISSUE 4 satellite: per-item profile/diagnostics cross the pool
+    for *every* ``on_error`` mode, not just the happy path."""
+
+    def test_report_mode_carries_partial_profile(self, fragile_pipeline, decks):
+        batch = fragile_pipeline.run_many(
+            [decks[0], _bomb_circuit(), decks[1]],
+            names=["ok0", "bomb", "ok1"],
+            workers=2,
+            on_error="report",
+            profile=True,
+        )
+        ok0, report, ok1 = batch
+        assert ok0.ok and ok1.ok and not report.ok
+        assert report.stage == "gcn"
+        assert report.name == "bomb"
+        # The pre-failure stages were profiled and the dict survived
+        # pickling back from the worker.
+        assert isinstance(report.profile, dict)
+        assert "preprocess" in report.profile["stages"]
+        assert "graph" in report.profile["stages"]
+        assert "post1" not in report.profile["stages"]
+        # Successful neighbours keep their own full profiles.
+        assert set(ok0.profile["stages"]) == set(ok0.timings)
+
+    def test_report_mode_without_profiling_has_none(self, fragile_pipeline):
+        (report,) = fragile_pipeline.run_many(
+            [_bomb_circuit()], on_error="report", profile=False
+        )
+        assert not report.ok
+        assert report.profile is None
+
+    def test_raise_mode_exception_carries_metadata(
+        self, fragile_pipeline, decks
+    ):
+        from repro.runtime.resilience import failure_report
+
+        with pytest.raises(RuntimeError, match="gcn exploded") as err:
+            fragile_pipeline.run_many(
+                [decks[0], _bomb_circuit()],
+                workers=2,
+                on_error="raise",
+                profile=True,
+            )
+        # The stage tag and partial profile are instance attributes on
+        # the exception, so they pickle with it out of the worker and
+        # failure_report() can be built caller-side too.
+        assert getattr(err.value, "_gana_stage", None) == "gcn"
+        assert isinstance(getattr(err.value, "_gana_profile", None), dict)
+        report = failure_report(err.value)
+        assert report.stage == "gcn"
+        assert "preprocess" in report.profile["stages"]
+
+    def test_lenient_diagnostics_survive_pool(self, pipeline, decks):
+        bad_deck = decks[0] + "\nq_bogus a b c npn\n"
+        results = pipeline.run_many(
+            [bad_deck, decks[1]],
+            workers=2,
+            mode="lenient",
+            on_error="report",
+        )
+        assert all(r.ok for r in results)
+        assert results[0].diagnostics  # the bogus card, reported per item
+        assert not results[1].diagnostics
+
+    def test_failure_report_pickle_round_trip(self, fragile_pipeline):
+        import pickle
+
+        (report,) = fragile_pipeline.run_many(
+            [_bomb_circuit()], on_error="report", profile=True
+        )
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone.stage == report.stage
+        assert clone.profile == report.profile
+        assert clone.diagnostics == report.diagnostics

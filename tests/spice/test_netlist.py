@@ -32,6 +32,75 @@ class TestNetNameConventions:
         assert not is_supply_net("gnd!")
 
 
+class TestPowerNetMemo:
+    """The is_power_net memo must not leak across rail conventions.
+
+    The old ``functools.lru_cache`` was process-wide: a run under a
+    monkeypatched ``SUPPLY_NET_RE`` left poisoned answers behind for
+    every later run in the process.  The explicit memo is cleared at
+    the start of each pipeline run via :func:`reset_power_net_memo`.
+    """
+
+    def test_reset_drops_stale_answers(self, monkeypatch):
+        import re
+
+        from repro.spice import netlist
+
+        netlist.reset_power_net_memo()
+        monkeypatch.setattr(
+            netlist, "SUPPLY_NET_RE", re.compile(r"^railx$", re.IGNORECASE)
+        )
+        assert is_power_net("railx")  # memoized under the patched regex
+        monkeypatch.undo()
+        # Stale without the reset — this is the poisoned-cache hazard.
+        assert netlist._POWER_NET_MEMO.get("railx") is True
+        netlist.reset_power_net_memo()
+        assert not is_power_net("railx")
+
+    def test_back_to_back_runs_use_their_own_conventions(
+        self, monkeypatch, quick_ota_annotator
+    ):
+        """Two pipeline runs, different conventions: no cross-talk.
+
+        Run 1 treats ``railx`` as a supply (so devices tied to it read
+        as rail-connected); run 2 uses stock conventions, where
+        ``railx`` is an ordinary signal net.  With the old process-wide
+        ``lru_cache`` run 2 inherited run 1's answer.
+        """
+        import re
+
+        from repro.core.pipeline import GanaPipeline
+        from repro.spice import netlist
+
+        deck = """
+        * deck whose rail name is convention-dependent
+        m1 out in railx gnd! nmos w=1u l=100n
+        m2 out in vdd! vdd! pmos w=2u l=100n
+        c1 railx gnd! 1p
+        .end
+        """
+        pipeline = GanaPipeline(annotator=quick_ota_annotator)
+
+        monkeypatch.setattr(
+            netlist,
+            "SUPPLY_NET_RE",
+            re.compile(r"^(vdd[!]?|railx)$", re.IGNORECASE),
+        )
+        first = pipeline.run(deck)
+        # railx is a rail here, so c1 bridges two rails: a decap,
+        # removed by preprocessing.
+        assert "c1" in first.preprocess_report.removed_names
+
+        monkeypatch.undo()
+        second = pipeline.run(deck)
+        # Under stock conventions railx is a signal net again, so c1
+        # is an ordinary load capacitor and must survive.  The old
+        # lru_cache leaked run 1's answer and removed it here too.
+        assert not netlist.is_power_net("railx")
+        assert "c1" not in second.preprocess_report.removed_names
+        assert "c1" in {d.name for d in second.graph.elements}
+
+
 class TestDevice:
     def test_mos_terminals_enforced(self):
         with pytest.raises(ValueError):
