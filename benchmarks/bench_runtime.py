@@ -167,7 +167,10 @@ def bench_runtime_model_cache(benchmark, tmp_path, monkeypatch):
             "cold_seconds": cold,
             "warm_seconds": warm,
             "speedup": speedup,
-            "spec": {k: str(v) for k, v in spec.items()},
+            # Native JSON types: a str()-formatted spec ("True", "17")
+            # could not be fed back into pretrained() without hitting a
+            # different cache key than the run it records.
+            "spec": dict(spec),
         },
     )
 
@@ -348,3 +351,68 @@ def bench_runtime_batch_annotation(benchmark, pipelines):
     else:
         # Single-core host: the serial fallback must stay overhead-free.
         assert speedup >= 0.8
+
+
+def bench_runtime_gcn_batching(benchmark):
+    """Block-diagonal packed minibatches vs the per-sample training loop.
+
+    Trains the quick OTA spec from one seed at several batch sizes —
+    once with ``TrainConfig(batched=True)`` (one Chebyshev recurrence
+    and one tall GEMM per layer per minibatch) and once with the
+    per-sample reference loop.  :func:`measure` asserts curve parity on
+    every rep (same losses, same val-accuracy trajectory, same best
+    epoch), so the ratio is a pure throughput comparison at matched
+    accuracy.  The headline batch size must clear ≥2x epoch throughput;
+    the quick spec (batch 8, what CI re-measures via
+    ``check_batch_regression.py``) guards a 1.5x floor.
+    """
+    from benchmarks.check_batch_regression import EPOCHS, measure
+
+    headline_batch = 32
+    sweep = {bs: measure(reps=2, batch_size=bs) for bs in (8, 16, headline_batch)}
+    quick = sweep[8]
+    headline = sweep[headline_batch]
+
+    benchmark.pedantic(
+        lambda: measure(reps=1, batch_size=headline_batch),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "{:>11} {:>12} {:>12} {:>9} {:>10}".format(
+            "batch size", "per-sample", "batched", "speedup", "epochs/s"
+        ),
+    ]
+    for bs, stats in sorted(sweep.items()):
+        lines.append(
+            "{:>11} {:>11.4f}s {:>11.4f}s {:>8.2f}x {:>10.1f}".format(
+                bs,
+                stats["per_sample_seconds"],
+                stats["batched_seconds"],
+                stats["speedup"],
+                stats["epochs_per_second_batched"],
+            )
+        )
+    lines.append("")
+    lines.append(
+        f"{EPOCHS} epochs, quick OTA spec; identical loss/accuracy curves "
+        f"(asserted); best val acc {headline['best_val_accuracy']:.4f}"
+    )
+    write_result("runtime_gcn_batching", "\n".join(lines))
+    update_bench_json(
+        "gcn_batching",
+        {
+            "quick_spec": quick,
+            "by_batch_size": {str(bs): s for bs, s in sorted(sweep.items())},
+            "headline_batch_size": headline_batch,
+            "speedup": headline["speedup"],
+            "epochs_per_second_batched": headline["epochs_per_second_batched"],
+            "epochs_per_second_per_sample": headline[
+                "epochs_per_second_per_sample"
+            ],
+        },
+    )
+
+    assert headline["speedup"] >= 2.0
+    assert quick["speedup"] >= 1.5

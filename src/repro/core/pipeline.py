@@ -41,6 +41,8 @@ golden tests compare against.
 
 from __future__ import annotations
 
+import logging
+import time
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -98,6 +100,8 @@ from repro.spice.flatten import flatten
 from repro.spice.netlist import Circuit, Netlist, is_power_net
 from repro.spice.parser import parse_netlist
 from repro.spice.preprocess import PreprocessReport, preprocess
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass
@@ -387,6 +391,7 @@ class GanaPipeline:
         save_artifacts: str | Path | None = None,
         resume_from=None,
         stop_after: StageName | str | None = None,
+        gcn_annotation: Annotation | None = None,
     ) -> StagedRun:
         """Run the stage chain with full staged-execution control.
 
@@ -403,6 +408,12 @@ class GanaPipeline:
         restarts after the furthest seeded stage, so ``netlist`` may be
         omitted when resuming.  ``artifact_cache`` / ``save_artifacts``
         as in :meth:`run`.
+
+        ``gcn_annotation`` hands the gcn stage a precomputed
+        :class:`~repro.core.annotator.Annotation` (from a packed
+        :meth:`GcnAnnotator.annotate_batch` pass) to adopt instead of
+        calling the annotator; degrade/confidence-floor semantics still
+        apply to it.
         """
         cache = artifact_cache
         if cache is not None and not isinstance(cache, ArtifactCache):
@@ -430,6 +441,7 @@ class GanaPipeline:
             profiler=profiler,
             cache=cache,
             save_dir=Path(save_artifacts) if save_artifacts else None,
+            gcn_annotation=gcn_annotation,
         )
         runner = StagedRunner(default_stages())
         return runner.execute(ctx, resume=resume, stop_after=stop_after)
@@ -678,13 +690,34 @@ class GanaPipeline:
 
         The trained pipeline ships to each worker once (pool
         initializer), not once per netlist, so per-item IPC stays
-        proportional to the netlist text + result.
+        proportional to the netlist text + result.  Pools themselves
+        are kept warm between ``run_many`` calls: the initializer state
+        is fingerprinted (annotator weights, library, degrade knobs),
+        so a repeat call with an equivalent pipeline reuses the
+        already-initialized workers instead of re-forking and
+        re-pickling the model (see
+        :func:`repro.runtime.parallel.shutdown_pools`).
+
+        Batched GCN inference: when the annotator supports
+        :meth:`~repro.core.annotator.GcnAnnotator.annotate_batch` (and
+        no ``timeout``/``artifact_cache`` complicates the split), each
+        worker receives a contiguous *chunk* of netlists, runs every
+        deck up to the graph stage, classifies all of the chunk's
+        graphs in one block-diagonal packed forward, then finishes each
+        deck from the precomputed annotation.  Results are unchanged
+        (class predictions are identical; softmax probabilities agree
+        to fp64 rounding — see ``repro/gcn/batch.py``); the packed GCN
+        seconds are attributed to each item proportional to its vertex
+        count.  Any packed failure falls back to the ordinary per-item
+        flow for that chunk.
 
         ``artifact_cache`` (an
         :class:`~repro.runtime.cache.ArtifactCache` or directory path)
         is forwarded to every item's :meth:`run`: the cache object is
         just a directory handle, so it pickles to pool workers and the
-        whole fleet shares one on-disk artifact store.
+        whole fleet shares one on-disk artifact store.  (Cache-backed
+        fleets use the per-item flow, so batched inference never
+        bypasses or pollutes the content-addressed store.)
         """
         if on_error not in ("raise", "report"):
             raise ValueError(
@@ -717,15 +750,59 @@ class GanaPipeline:
         ]
         if resolve_workers(workers) <= 1 or len(jobs) <= 1:
             return [_run_pipeline_job(self, job) for job in jobs]
-        return parallel_map(
-            _pipeline_worker_run,
-            jobs,
+        batched = (
+            timeout is None
+            and artifact_cache is None
+            and callable(getattr(self.annotator, "annotate_batch", None))
+        )
+        if not batched:
+            return parallel_map(
+                _pipeline_worker_run,
+                jobs,
+                workers=workers,
+                chunksize=chunksize,
+                initializer=_pipeline_worker_init,
+                initargs=(self,),
+                pool_retries=pool_retries,
+                pool_key=self._pool_key(),
+            )
+        # Contiguous chunks, one per worker, so every worker gets one
+        # packed GCN forward for its whole share of the fleet.
+        n_workers = min(resolve_workers(workers), len(jobs))
+        bounds = [len(jobs) * k // n_workers for k in range(n_workers + 1)]
+        chunks = [jobs[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+        nested = parallel_map(
+            _pipeline_worker_run_chunk,
+            chunks,
             workers=workers,
-            chunksize=chunksize,
+            chunksize=1,
             initializer=_pipeline_worker_init,
             initargs=(self,),
             pool_retries=pool_retries,
+            pool_key=self._pool_key(),
         )
+        return [result for chunk in nested for result in chunk]
+
+    def _pool_key(self) -> str | None:
+        """Content fingerprint of the state ``_pipeline_worker_init``
+        installs, so :func:`~repro.runtime.parallel.parallel_map` can
+        hand an equivalent pipeline the already-warm worker pool.
+        ``None`` (no reuse) when any component lacks a stable
+        fingerprint (injected fallbacks, stub annotators in tests).
+        """
+        if self.fallback_recognizer is not None:
+            return None
+        try:
+            return content_fingerprint(
+                "pipeline-pool",
+                annotator_fingerprint(self.annotator),
+                library_fingerprint(self.library),
+                self.detect_bpf,
+                self.degrade,
+                self.confidence_floor,
+            )
+        except Exception:
+            return None
 
 
 # ---------------------------------------------------------------------------
@@ -856,6 +933,11 @@ class GcnStage:
         pipeline = ctx.pipeline
         if upstream_fp is None:
             return None
+        if ctx.gcn_annotation is not None:
+            # A precomputed annotation came from a packed forward whose
+            # logits can differ from the per-sample path by fp64
+            # rounding; keep it out of the content-addressed store.
+            return None
         if pipeline.fallback_recognizer is not None and pipeline.degrade:
             # An injected fallback has no stable fingerprint; a cached
             # degraded annotation could silently outlive it.
@@ -874,9 +956,15 @@ class GcnStage:
         graph = upstream.graph
         degraded_reason: str | None = None
         try:
-            annotation = pipeline.annotator.annotate(
-                graph, net_roles=upstream.net_roles
-            )
+            if ctx.gcn_annotation is not None:
+                # Batched inference already classified this graph in a
+                # packed multi-deck forward; adopt it and let the usual
+                # confidence-floor/degrade checks below vet it.
+                annotation = ctx.gcn_annotation
+            else:
+                annotation = pipeline.annotator.annotate(
+                    graph, net_roles=upstream.net_roles
+                )
         except Exception as exc:
             if not pipeline.degrade:
                 raise
@@ -1054,6 +1142,110 @@ def _run_pipeline_job(
         return failure_report(exc, index=job["index"], name=kwargs["name"])
 
 
+def _run_pipeline_chunk(
+    pipeline: GanaPipeline, jobs: list[dict]
+) -> list[PipelineResult | FailureReport]:
+    """A worker's contiguous slice of a ``run_many`` fleet, classified
+    with one packed GCN forward.
+
+    Phase 1 runs every deck through the graph stage (with the usual
+    per-item fault isolation); a single
+    :meth:`~repro.core.annotator.GcnAnnotator.annotate_batch` call then
+    classifies all surviving graphs block-diagonally; phase 2 resumes
+    each deck from its graph artifact with the precomputed annotation
+    injected into the gcn stage.  The packed pass's wall-clock is
+    attributed to items proportional to their vertex counts, so
+    per-item ``timings["gcn"]`` stays meaningful.  If the packed pass
+    fails, the chunk's items fall back to ordinary per-item GCN
+    inference — identical semantics, just without the speedup.
+    """
+    if len(jobs) < 2:
+        return [_run_pipeline_job(pipeline, job) for job in jobs]
+
+    from repro.runtime.profile import PipelineProfiler
+
+    results: list[PipelineResult | FailureReport | None] = [None] * len(jobs)
+    phase1: list[StagedRun | None] = [None] * len(jobs)
+    profilers: list[PipelineProfiler | None] = [None] * len(jobs)
+    for k, job in enumerate(jobs):
+        kwargs = job["kwargs"]
+        if kwargs["profile"]:
+            profilers[k] = PipelineProfiler()
+        try:
+            phase1[k] = pipeline.run_staged(
+                kwargs["netlist"],
+                net_roles=kwargs["net_roles"],
+                port_labels=kwargs["port_labels"],
+                name=kwargs["name"],
+                infer_testbench=kwargs["infer_testbench"],
+                mode=kwargs["mode"],
+                profiler=profilers[k],
+                stop_after=StageName.GRAPH,
+            )
+        except Exception as exc:
+            if not job["isolate"]:
+                raise
+            results[k] = failure_report(
+                exc, index=job["index"], name=kwargs["name"]
+            )
+
+    pending = [k for k in range(len(jobs)) if phase1[k] is not None]
+    annotations: dict[int, Annotation] = {}
+    gcn_shares: dict[int, float] = {}
+    if len(pending) > 1:
+        featured = [phase1[k].artifacts[StageName.GRAPH] for k in pending]
+        started = time.perf_counter()
+        try:
+            batch = pipeline.annotator.annotate_batch(
+                [f.graph for f in featured],
+                [f.net_roles for f in featured],
+            )
+        except Exception:
+            _LOG.warning(
+                "packed annotate_batch failed; falling back to per-item "
+                "GCN inference for this chunk",
+                exc_info=True,
+            )
+        else:
+            packed_seconds = time.perf_counter() - started
+            total = sum(f.graph.n_vertices for f in featured) or 1
+            for k, f, annotation in zip(pending, featured, batch):
+                annotations[k] = annotation
+                gcn_shares[k] = packed_seconds * f.graph.n_vertices / total
+
+    for k in pending:
+        job = jobs[k]
+        kwargs = job["kwargs"]
+        try:
+            staged = pipeline.run_staged(
+                name=kwargs["name"],
+                mode=kwargs["mode"],
+                profiler=profilers[k],
+                resume_from=[phase1[k].artifacts[StageName.GRAPH]],
+                gcn_annotation=annotations.get(k),
+            )
+            # Resuming seeds the pre-graph stages at 0 s; fold the real
+            # phase-1 numbers back in, plus this item's share of the
+            # packed GCN pass.
+            for stage_name, seconds in phase1[k].stage_seconds.items():
+                if not staged.stage_seconds.get(stage_name):
+                    staged.stage_seconds[stage_name] = seconds
+            staged.stage_seconds[StageName.GCN] = (
+                staged.stage_seconds.get(StageName.GCN, 0.0)
+                + gcn_shares.get(k, 0.0)
+            )
+            results[k] = pipeline.result_from_staged(
+                staged, profiler=profilers[k]
+            )
+        except Exception as exc:
+            if not job["isolate"]:
+                raise
+            results[k] = failure_report(
+                exc, index=job["index"], name=kwargs["name"]
+            )
+    return results
+
+
 #: Per-process pipeline installed by the ``run_many`` pool initializer,
 #: so the (potentially large) trained model is pickled once per worker
 #: instead of once per netlist.
@@ -1068,3 +1260,10 @@ def _pipeline_worker_init(pipeline: GanaPipeline) -> None:
 def _pipeline_worker_run(job: dict) -> PipelineResult | FailureReport:
     assert _WORKER_PIPELINE is not None, "worker initializer did not run"
     return _run_pipeline_job(_WORKER_PIPELINE, job)
+
+
+def _pipeline_worker_run_chunk(
+    jobs: list[dict],
+) -> list[PipelineResult | FailureReport]:
+    assert _WORKER_PIPELINE is not None, "worker initializer did not run"
+    return _run_pipeline_chunk(_WORKER_PIPELINE, jobs)

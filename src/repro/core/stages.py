@@ -540,6 +540,10 @@ class RunContext:
     profiler: "PipelineProfiler | None" = None
     cache: ArtifactCache | None = None
     save_dir: Path | None = None
+    #: Precomputed GCN annotation (batched inference): when set, the
+    #: gcn stage adopts it instead of calling the annotator, so packed
+    #: multi-deck forwards slot into the ordinary stage chain.
+    gcn_annotation: "Annotation | None" = None
     diagnostics: list[Diagnostic] = field(default_factory=list)
     artifacts: dict[StageName, Artifact] = field(default_factory=dict)
     stage_seconds: dict[StageName, float] = field(default_factory=dict)

@@ -6,6 +6,7 @@ coarsening + pooling, manual backprop layers, Adam/SGD, a trainer with
 early stopping, and random-search hyperparameter optimization.
 """
 
+from repro.gcn.batch import PackedBatch, PackedPyramid, pack_samples
 from repro.gcn.chebyshev import (
     chebyshev_basis,
     chebyshev_basis_backward,
@@ -37,7 +38,12 @@ from repro.gcn.layers import (
     SampleContext,
     Tanh,
 )
-from repro.gcn.loss import cross_entropy, l2_penalty, softmax
+from repro.gcn.loss import (
+    batched_cross_entropy,
+    cross_entropy,
+    l2_penalty,
+    softmax,
+)
 from repro.gcn.metrics import (
     ClassReport,
     classification_report,
@@ -77,6 +83,8 @@ __all__ = [
     "GraphSample",
     "GraphUnpool",
     "History",
+    "PackedBatch",
+    "PackedPyramid",
     "ReLU",
     "SGD",
     "SampleContext",
@@ -86,6 +94,7 @@ __all__ = [
     "TrainConfig",
     "Trial",
     "accuracy",
+    "batched_cross_entropy",
     "build_pyramid",
     "chebyshev_basis",
     "chebyshev_basis_backward",
@@ -109,6 +118,7 @@ __all__ = [
     "kfold_indices",
     "l2_penalty",
     "mean_and_variance",
+    "pack_samples",
     "random_search",
     "softmax",
     "train",

@@ -42,16 +42,36 @@ class SampleContext:
     Chebyshev basis, which depends only on the fixed Laplacian and the
     fixed input features, not on the weights, and is therefore
     identical across every epoch of training.
+
+    ``offsets`` is set by :class:`~repro.gcn.batch.PackedBatch` when
+    the "sample" is really B block-diagonally packed graphs:
+    ``offsets[ℓ][i]`` is the first packed row of graph ``i`` at
+    coarsening level ℓ.  Layers whose math is *not* row-local
+    (BatchNorm statistics, Dropout's RNG stream) consult
+    :meth:`segment_offsets` to reproduce the per-sample behaviour
+    segment by segment; everything else is oblivious to packing.
     """
 
     laplacians: list[sp.csr_matrix]
     assignments: list[np.ndarray] = field(default_factory=list)
     level: int = 0
     cache: dict | None = None
+    offsets: list[np.ndarray] | None = None
 
     @property
     def laplacian(self) -> sp.csr_matrix:
         return self.laplacians[self.level]
+
+    def segment_offsets(self) -> np.ndarray | None:
+        """Per-graph row boundaries at the current level, or ``None``.
+
+        Returns ``None`` for unpacked samples *and* for single-graph
+        packings, where the per-sample math needs no segmentation.
+        """
+        if self.offsets is None:
+            return None
+        bounds = self.offsets[self.level]
+        return bounds if len(bounds) > 2 else None
 
     def reset(self) -> None:
         self.level = 0
@@ -74,7 +94,13 @@ class Layer:
 
     def zero_grad(self) -> None:
         for key, value in self.params.items():
-            self.grads[key] = np.zeros_like(value)
+            grad = self.grads.get(key)
+            if grad is None:
+                self.grads[key] = np.zeros_like(value)
+            else:
+                # Reuse the buffer: optimizers hold a reference to the
+                # grads dict, and a fill avoids per-batch allocations.
+                grad.fill(0.0)
 
     def n_parameters(self) -> int:
         return sum(p.size for p in self.params.values())
@@ -210,6 +236,11 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
+        # One draw covers packed batches too: Generator.random fills
+        # C-contiguous doubles sequentially, so a single (Σn_i, F) draw
+        # consumes the stream exactly as B consecutive (n_i, F) draws
+        # would — the packed masks are bit-identical to the per-sample
+        # loop over the same graphs in pack order.
         self._mask = (self.rng.random(x.shape) < keep) / keep
         return x * self._mask
 
@@ -238,21 +269,48 @@ class BatchNorm(Layer):
         self.running_mean = np.zeros(features)
         self.running_var = np.ones(features)
 
+    def _fold_running(self, mean: np.ndarray, var: np.ndarray) -> None:
+        self.running_mean = (
+            self.momentum * self.running_mean + (1 - self.momentum) * mean
+        )
+        self.running_var = (
+            self.momentum * self.running_var + (1 - self.momentum) * var
+        )
+
     def forward(self, x, ctx, training):
-        if training:
-            mean = x.mean(axis=0)
-            var = x.var(axis=0)
-            self.running_mean = (
-                self.momentum * self.running_mean + (1 - self.momentum) * mean
-            )
-            self.running_var = (
-                self.momentum * self.running_var + (1 - self.momentum) * var
-            )
-        else:
-            mean, var = self.running_mean, self.running_var
-        self._std = np.sqrt(var + self.eps)
-        self._xhat = (x - mean) / self._std
         self._training = training
+        if not training:
+            self._std = np.sqrt(self.running_var + self.eps)
+            self._xhat = (x - self.running_mean) / self._std
+            return self.params["gamma"] * self._xhat + self.params["beta"]
+        # Training statistics are per graph: one segment per packed
+        # graph (or the whole array for a lone sample).  Segment sums
+        # go through ``np.add.reduceat``, whose plain sequential
+        # accumulation is *segment-stable* — a segment sums to the same
+        # bits whether it is reduced alone or inside a packed array —
+        # which is exactly the packed/per-sample parity guarantee.
+        # (``ndarray.mean``'s pairwise summation is faster per call but
+        # cannot be vectorized over ragged segments bit-identically.)
+        bounds = ctx.segment_offsets()
+        if bounds is None:
+            starts = np.zeros(1, dtype=np.int64)
+            sizes = np.array([x.shape[0]], dtype=np.int64)
+        else:
+            starts = bounds[:-1]
+            sizes = bounds[1:] - starts
+        counts = sizes.astype(np.float64)[:, None]
+        self._starts, self._sizes, self._counts = starts, sizes, counts
+        mean = np.add.reduceat(x, starts, axis=0) / counts
+        single = len(starts) == 1
+        centered = x - (mean if single else np.repeat(mean, sizes, axis=0))
+        var = np.add.reduceat(centered * centered, starts, axis=0) / counts
+        # Running stats fold once per graph in pack order, matching the
+        # per-sample loop bitwise.
+        for i in range(len(starts)):
+            self._fold_running(mean[i], var[i])
+        std = np.sqrt(var + self.eps)
+        self._std = std if single else np.repeat(std, sizes, axis=0)
+        self._xhat = centered / self._std
         return self.params["gamma"] * self._xhat + self.params["beta"]
 
     def backward(self, grad):
@@ -262,10 +320,51 @@ class BatchNorm(Layer):
         gg = grad * self.params["gamma"]
         if not self._training:
             return gg / std
-        n = grad.shape[0]
-        return (
-            gg - gg.mean(axis=0) - xhat * (gg * xhat).mean(axis=0)
-        ) / std if n > 1 else gg / std
+        starts, sizes, counts = self._starts, self._sizes, self._counts
+        mean_gg = np.add.reduceat(gg, starts, axis=0) / counts
+        mean_gx = np.add.reduceat(gg * xhat, starts, axis=0) / counts
+        if len(starts) == 1:
+            out = (gg - mean_gg - xhat * mean_gx) / std
+        else:
+            out = (
+                gg
+                - np.repeat(mean_gg, sizes, axis=0)
+                - xhat * np.repeat(mean_gx, sizes, axis=0)
+            ) / std
+        single_vertex = sizes == 1
+        if single_vertex.any():
+            # A one-vertex graph has no batch statistics to backprop
+            # through; its gradient passes straight through the scale.
+            rows = np.repeat(single_vertex, sizes)
+            out[rows] = gg[rows] / std[rows]
+        return out
+
+
+def _cluster_members(ctx: SampleContext, level: int) -> tuple:
+    """Per-cluster (lowest, highest) fine-member indices at ``level``.
+
+    Graclus clusters hold one or two vertices, so max-pooling reduces
+    to two gathers plus an elementwise max — far cheaper than the
+    unbuffered ``np.ufunc.at`` scatter it replaces.  The member arrays
+    depend only on the static assignment, so they are memoized on the
+    context cache (per sample forever; per packed batch for its
+    lifetime) keyed by the assignment's identity.
+    """
+    assign = ctx.assignments[level]
+    key = ("pool-members", level)
+    cache = ctx.cache if ctx.cache is not None else {}
+    entry = cache.get(key)
+    if entry is not None and entry[0] is assign:
+        return entry
+    n_coarse = int(assign.max()) + 1 if assign.size else 0
+    order = np.argsort(assign, kind="stable")
+    clusters = np.arange(n_coarse)
+    sorted_assign = assign[order]
+    lo = order[np.searchsorted(sorted_assign, clusters, side="left")]
+    hi = order[np.searchsorted(sorted_assign, clusters, side="right") - 1]
+    entry = (assign, lo, hi)
+    cache[key] = entry
+    return entry
 
 
 class GraphPool(Layer):
@@ -282,21 +381,13 @@ class GraphPool(Layer):
             raise ModelConfigError(
                 "GraphPool used beyond the available coarsening levels"
             )
-        assign = ctx.assignments[ctx.level]
-        n_coarse = int(assign.max()) + 1 if assign.size else 0
-        out = np.full((n_coarse, x.shape[1]), -np.inf)
-        np.maximum.at(out, assign, x)
+        _, lo, hi = _cluster_members(ctx, ctx.level)
+        low, high = x[lo], x[hi]
+        out = np.maximum(low, high)
         # Track which fine vertex supplied each max for routing grads:
         # among a cluster's members that attain the max, the highest
-        # fine index wins (scatter-max over candidate indices, with −1
-        # marking non-attaining members so the zero init survives).
-        winner = np.zeros((n_coarse, x.shape[1]), dtype=np.int64)
-        if assign.size:
-            attained = x == out[assign]  # (n_fine, F)
-            fine_ids = np.arange(x.shape[0])[:, None]
-            candidates = np.where(attained, fine_ids, -1)
-            np.maximum.at(winner, assign, candidates)
-        self._winner = winner
+        # fine index wins.
+        self._winner = np.where(high >= low, hi[:, None], lo[:, None])
         self._n_fine = x.shape[0]
         ctx.level += 1
         return out
@@ -306,7 +397,9 @@ class GraphPool(Layer):
         cols = np.broadcast_to(
             np.arange(grad.shape[1]), self._winner.shape
         )
-        np.add.at(out, (self._winner, cols), grad)
+        # One winner per (cluster, feature) and clusters are disjoint,
+        # so plain fancy assignment scatters without collisions.
+        out[self._winner, cols] = grad
         return out
 
 
@@ -325,12 +418,17 @@ class GraphUnpool(Layer):
         ctx.level -= 1
         assign = ctx.assignments[ctx.level]
         self._assign = assign
+        _, self._lo, self._hi = _cluster_members(ctx, ctx.level)
         self._n_coarse = x.shape[0]
         return x[assign]
 
     def backward(self, grad):
-        out = np.zeros((self._n_coarse, grad.shape[1]))
-        np.add.at(out, self._assign, grad)
+        # Each coarse vertex sums its members' gradients in ascending
+        # fine order — the order ``np.add.at(out, assign, grad)`` would
+        # accumulate them in.
+        out = grad[self._lo].copy()
+        pair = self._hi != self._lo
+        out[pair] += grad[self._hi[pair]]
         return out
 
 

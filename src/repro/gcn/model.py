@@ -140,16 +140,38 @@ class GCNModel:
 
     # -- forward/backward ------------------------------------------------
 
-    def forward(self, sample: GraphSample, training: bool) -> np.ndarray:
-        """Per-vertex logits of shape (n_vertices, n_classes)."""
+    def _check_levels(self, sample) -> None:
         if self.config.pooling and len(sample.pyramid.assignments) < self.config.n_layers:
             raise ModelConfigError(
                 f"sample {sample.name!r} has "
                 f"{len(sample.pyramid.assignments)} coarsening levels; "
                 f"model needs {self.config.n_layers}"
             )
+
+    def forward(self, sample: GraphSample, training: bool) -> np.ndarray:
+        """Per-vertex logits of shape (n_vertices, n_classes)."""
+        self._check_levels(sample)
         ctx = sample.context()
         x = sample.features
+        for layer in self.layers:
+            x = layer.forward(x, ctx, training)
+        return x
+
+    def forward_packed(self, batch, training: bool) -> np.ndarray:
+        """Packed-batch logits of shape (Σn_i, n_classes).
+
+        One Chebyshev recurrence and one GEMM per layer serve all of
+        ``batch``'s graphs; the result rows match the per-sample
+        :meth:`forward` outputs to fp64 rounding (see ``gcn/batch.py``
+        for the exact-vs-ulp breakdown).
+        """
+        for sample in batch.samples:
+            self._check_levels(sample)
+        first = self.layers[0]
+        if isinstance(first, ChebConv):
+            batch.seed_input_basis(first.order)
+        ctx = batch.context()
+        x = batch.features
         for layer in self.layers:
             x = layer.forward(x, ctx, training)
         return x
@@ -167,6 +189,33 @@ class GCNModel:
     def predict(self, sample: GraphSample) -> np.ndarray:
         """Per-vertex argmax class ids."""
         return self.forward(sample, training=False).argmax(axis=1)
+
+    def predict_proba_batch(
+        self, samples: list[GraphSample]
+    ) -> list[np.ndarray]:
+        """Per-vertex class probabilities for each sample, computed in
+        one packed forward pass (per-sample values to fp64 rounding)."""
+        if not samples:
+            return []
+        if len(samples) == 1:
+            return [self.predict_proba(samples[0])]
+        from repro.gcn.batch import pack_samples
+
+        batch = pack_samples(samples)
+        logits = self.forward_packed(batch, training=False)
+        return batch.split(softmax(logits))
+
+    def predict_batch(self, samples: list[GraphSample]) -> list[np.ndarray]:
+        """Per-vertex argmax class ids for each sample (one packed pass)."""
+        if not samples:
+            return []
+        if len(samples) == 1:
+            return [self.predict(samples[0])]
+        from repro.gcn.batch import pack_samples
+
+        batch = pack_samples(samples)
+        logits = self.forward_packed(batch, training=False)
+        return [seg.argmax(axis=1) for seg in batch.split(logits)]
 
     # -- (de)serialization --------------------------------------------------
 

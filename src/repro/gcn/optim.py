@@ -50,7 +50,14 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) with bias correction."""
+    """Adam (Kingma & Ba) with bias correction.
+
+    Moment state lives in one flat vector per moment, so a step is a
+    handful of long elementwise array ops instead of ~10 small ops per
+    parameter tensor — bitwise identical to the per-tensor update
+    (elementwise math has no accumulation-order freedom) but without
+    the Python/allocation overhead that dominated at this model size.
+    """
 
     def __init__(
         self,
@@ -64,22 +71,35 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.t = 0
-        self.m = [
-            {k: np.zeros_like(v) for k, v in params.items()} for params, _ in slots
-        ]
-        self.v = [
-            {k: np.zeros_like(v) for k, v in params.items()} for params, _ in slots
-        ]
+        # Flat layout: each parameter tensor owns a (start, stop) span.
+        self._entries: list[tuple[dict, dict, str, int, int]] = []
+        offset = 0
+        for params, grads in slots:
+            for key, value in params.items():
+                self._entries.append(
+                    (params, grads, key, offset, offset + value.size)
+                )
+                offset += value.size
+        self.m = np.zeros(offset)
+        self.v = np.zeros(offset)
+        self._g = np.empty(offset)
 
     def step(self) -> None:
         self.t += 1
         bc1 = 1.0 - self.beta1**self.t
         bc2 = 1.0 - self.beta2**self.t
-        for (params, grads), m, v in zip(self.slots, self.m, self.v):
-            for key in params:
-                g = self._decayed_grad(key, params[key], grads[key])
-                m[key] = self.beta1 * m[key] + (1 - self.beta1) * g
-                v[key] = self.beta2 * v[key] + (1 - self.beta2) * g * g
-                params[key] -= (
-                    self.lr * (m[key] / bc1) / (np.sqrt(v[key] / bc2) + self.eps)
-                )
+        g = self._g
+        for params, grads, key, start, stop in self._entries:
+            g[start:stop] = grads[key].ravel()
+        if self.weight_decay:
+            for params, grads, key, start, stop in self._entries:
+                if key not in ("bias", "beta"):
+                    g[start:stop] += self.weight_decay * params[key].ravel()
+        self.m *= self.beta1
+        self.m += (1 - self.beta1) * g
+        self.v *= self.beta2
+        self.v += (1 - self.beta2) * g * g
+        update = self.lr * (self.m / bc1) / (np.sqrt(self.v / bc2) + self.eps)
+        for params, grads, key, start, stop in self._entries:
+            view = update[start:stop]
+            params[key] -= view.reshape(params[key].shape)

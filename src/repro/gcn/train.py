@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ModelConfigError
-from repro.gcn.loss import cross_entropy
+from repro.gcn.batch import pack_samples
+from repro.gcn.loss import batched_cross_entropy, cross_entropy
 from repro.gcn.metrics import confusion_matrix
 from repro.gcn.model import GCNConfig, GCNModel
 from repro.gcn.optim import Adam, Optimizer, SGD
@@ -39,6 +40,10 @@ class TrainConfig:
     balance_classes: bool = True
     seed: int = 0
     verbose: bool = False
+    #: Pack each minibatch into one block-diagonal forward/backward
+    #: (see ``gcn/batch.py``).  Numerically equivalent to the
+    #: per-sample loop; ``False`` forces the reference path.
+    batched: bool = True
 
 
 @dataclass
@@ -70,15 +75,39 @@ def _make_optimizer(model: GCNModel, config: TrainConfig) -> Optimizer:
     raise ModelConfigError(f"unknown optimizer {config.optimizer!r}")
 
 
+#: Packed-inference chunk size for evaluation: large enough to amortize
+#: the per-call overhead, small enough to keep the packed Laplacians in
+#: cache.
+_EVAL_CHUNK = 32
+
+
 def evaluate(model: GCNModel, samples: list[GraphSample]) -> float:
-    """Vertex accuracy over a sample list (masked vertices excluded)."""
+    """Vertex accuracy over a sample list (masked vertices excluded).
+
+    Runs packed inference in chunks; per-graph predictions match
+    per-sample :meth:`GCNModel.predict` calls.
+    """
+    packs = [
+        pack_samples(samples[start : start + _EVAL_CHUNK])
+        for start in range(0, len(samples), _EVAL_CHUNK)
+    ]
+    return _evaluate_packed(model, packs)
+
+
+def _evaluate_packed(model: GCNModel, packs: list) -> float:
+    """Accuracy over pre-packed evaluation chunks.
+
+    The training loop packs its validation chunks once and reuses them
+    every epoch — the packed Laplacians and the first-layer Chebyshev
+    basis cache stay warm across epochs.
+    """
     correct = 0
     total = 0
-    for sample in samples:
-        predictions = model.predict(sample)
-        mask = sample.mask
-        correct += int((predictions[mask] == sample.labels[mask]).sum())
-        total += int(mask.sum())
+    for packed in packs:
+        logits = model.forward_packed(packed, training=False)
+        predictions = logits.argmax(axis=1)
+        correct += int(((predictions == packed.labels) & packed.mask).sum())
+        total += int(packed.mask.sum())
     return correct / total if total else 1.0
 
 
@@ -120,6 +149,15 @@ def train(
     history = History()
     best_state: dict[str, np.ndarray] | None = None
     epochs_since_best = 0
+    # Validation chunks are packed once and reused every epoch.
+    val_packs = (
+        [
+            pack_samples(val_samples[i : i + _EVAL_CHUNK])
+            for i in range(0, len(val_samples), _EVAL_CHUNK)
+        ]
+        if val_samples is not None
+        else []
+    )
     start = time.perf_counter()
 
     for epoch in range(config.epochs):
@@ -130,28 +168,53 @@ def train(
         for batch_start in range(0, len(order), config.batch_size):
             batch = order[batch_start : batch_start + config.batch_size]
             model.zero_grad()
-            for sample_idx in batch:
-                sample = train_samples[sample_idx]
-                logits = model.forward(sample, training=True)
-                loss, grad = cross_entropy(
-                    logits, sample.labels, sample.mask, weights
+            if config.batched and len(batch) > 1:
+                # Block-diagonal packing: one forward/backward serves
+                # the whole minibatch.  Repacked per batch, so the
+                # shuffled composition is respected every epoch.
+                packed = pack_samples([train_samples[i] for i in batch])
+                logits = model.forward_packed(packed, training=True)
+                losses, counts, grad = batched_cross_entropy(
+                    logits, packed.labels, packed.mask,
+                    packed.offsets[0], weights,
                 )
                 model.backward(grad / len(batch))
-                epoch_loss += loss * int(sample.mask.sum())
+                epoch_loss += float(losses @ counts)
                 predictions = logits.argmax(axis=1)
                 epoch_correct += int(
-                    (predictions[sample.mask] == sample.labels[sample.mask]).sum()
+                    ((predictions == packed.labels) & packed.mask).sum()
                 )
-                epoch_total += int(sample.mask.sum())
+                epoch_total += int(counts.sum())
+            else:
+                for sample_idx in batch:
+                    sample = train_samples[sample_idx]
+                    logits = model.forward(sample, training=True)
+                    loss, grad = cross_entropy(
+                        logits, sample.labels, sample.mask, weights
+                    )
+                    model.backward(grad / len(batch))
+                    epoch_loss += loss * int(sample.mask.sum())
+                    predictions = logits.argmax(axis=1)
+                    epoch_correct += int(
+                        (predictions[sample.mask] == sample.labels[sample.mask]).sum()
+                    )
+                    epoch_total += int(sample.mask.sum())
             optimizer.step()
         optimizer.decay_lr(config.lr_decay)
 
-        train_acc = epoch_correct / epoch_total if epoch_total else 1.0
-        history.train_loss.append(epoch_loss / max(epoch_total, 1))
+        # Loss and accuracy share one denominator: the epoch's masked
+        # vertex count.  A degenerate epoch (every vertex masked out)
+        # reports a perfect accuracy and zero loss consistently.
+        if epoch_total:
+            train_acc = epoch_correct / epoch_total
+            history.train_loss.append(epoch_loss / epoch_total)
+        else:
+            train_acc = 1.0
+            history.train_loss.append(0.0)
         history.train_accuracy.append(train_acc)
 
         if val_samples is not None:
-            val_acc = evaluate(model, val_samples)
+            val_acc = _evaluate_packed(model, val_packs)
             history.val_accuracy.append(val_acc)
             if history.best_epoch < 0 or val_acc > history.val_accuracy[history.best_epoch]:
                 history.best_epoch = epoch

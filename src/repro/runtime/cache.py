@@ -41,8 +41,10 @@ CACHE_DIR_ENV = "GANA_CACHE_DIR"
 #: Environment variable disabling the cache ("1"/"true"/"yes").
 NO_CACHE_ENV = "GANA_NO_CACHE"
 #: Bumped whenever the on-disk format or training semantics change;
-#: entries with a different version are stale and ignored.
-CACHE_FORMAT_VERSION = 1
+#: entries with a different version are stale and ignored.  Version 2:
+#: batched minibatch training (block-diagonal packing) became the
+#: default, which reorders float accumulation relative to v1 weights.
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> Path:

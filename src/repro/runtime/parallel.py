@@ -12,7 +12,12 @@ annotation.  All three funnel through :func:`parallel_map`, which
 * chunks items so per-task IPC overhead amortizes,
 * retries transient pool failures (a killed/OOMed worker breaks the
   whole pool) with exponential backoff before giving up on the pool,
-  and
+* keeps executors warm between calls: pools are expensive to build
+  (fork + per-worker initializer), so pools without an initializer —
+  and pools whose initializer state is fingerprinted by a ``pool_key``
+  — are cached in a small LRU registry and handed back to the next
+  compatible call instead of being torn down (see
+  :func:`shutdown_pools`), and
 * falls back to a plain serial loop when only one worker is available,
   when the item list is tiny, or when the pool cannot be used at all
   (unpicklable payloads, sandboxed environments without ``fork``) —
@@ -25,11 +30,13 @@ annotation.  All three funnel through :func:`parallel_map`, which
 
 from __future__ import annotations
 
+import atexit
 import logging
 import math
 import os
 import pickle
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
@@ -52,6 +59,64 @@ _FATAL_POOL_ERRORS = (
 )
 
 _LOG = logging.getLogger(__name__)
+
+#: Warm executors keyed by ``(n_workers, pool_key)``.  A ``None`` key
+#: slot holds the generic no-initializer pool; keyed slots hold pools
+#: whose per-worker initializer state is pinned by the caller's
+#: ``pool_key`` fingerprint (same key ⇒ same initializer semantics, so
+#: reuse is safe).  Ordered for LRU eviction.
+_POOLS: "OrderedDict[tuple[int, str | None], ProcessPoolExecutor]" = OrderedDict()
+
+#: How many warm pools to keep at once; the least recently used pool
+#: beyond this is shut down.  Two covers the common interleaving of a
+#: generic pool (cross-validation, dataset generation) with one
+#: pipeline-initialized pool (batch annotation).
+_MAX_POOLS = 2
+
+
+def _checkout_pool(
+    n_workers: int,
+    pool_key: str | None,
+    initializer: Callable[..., None] | None,
+    initargs: Sequence[Any],
+) -> ProcessPoolExecutor:
+    """Fetch (or build) the warm pool for this key; refresh its LRU slot."""
+    key = (n_workers, pool_key)
+    pool = _POOLS.pop(key, None)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=initializer,
+            initargs=tuple(initargs),
+        )
+    _POOLS[key] = pool
+    while len(_POOLS) > _MAX_POOLS:
+        _, stale = _POOLS.popitem(last=False)
+        stale.shutdown(wait=False, cancel_futures=True)
+    return pool
+
+
+def _discard_pool(pool: ProcessPoolExecutor) -> None:
+    """Drop a (presumed broken) pool from the registry and kill it."""
+    for key, cached in list(_POOLS.items()):
+        if cached is pool:
+            del _POOLS[key]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Shut down every warm executor (atexit runs this with wait=False).
+
+    Call it explicitly from long-lived hosts that want to release the
+    worker processes early; the registry refills on the next pooled
+    :func:`parallel_map` call.
+    """
+    while _POOLS:
+        _, pool = _POOLS.popitem(last=False)
+        pool.shutdown(wait=wait, cancel_futures=not wait)
+
+
+atexit.register(shutdown_pools, wait=False)
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -81,6 +146,7 @@ def parallel_map(
     initargs: Sequence[Any] = (),
     pool_retries: int = 1,
     backoff: float = 0.2,
+    pool_key: str | None = None,
 ) -> list[Any]:
     """``[fn(x) for x in items]``, possibly across a process pool.
 
@@ -96,16 +162,33 @@ def parallel_map(
     ``initializer(*initargs)`` runs once per worker (pool path) or once
     up front (serial path) — use it to install heavyweight shared state
     such as a trained pipeline instead of pickling it per item.
+
+    Pool reuse: a call with no initializer always reuses the warm
+    generic pool.  A call *with* an initializer reuses a warm pool only
+    when ``pool_key`` is given — the key must fingerprint the
+    initializer state, because reused workers keep the state the pool's
+    *first* call installed.  Without a key, an initializer call gets a
+    throwaway pool, exactly as before.
     """
     items = list(items)
     n_workers = min(resolve_workers(workers), len(items))
     if n_workers <= 1 or len(items) <= 1:
         return _serial_map(fn, items, initializer, initargs)
     chunksize = chunksize or default_chunksize(len(items), n_workers)
+    reusable = initializer is None or pool_key is not None
 
     pool_failure: BaseException | None = None
     for attempt in range(max(0, pool_retries) + 1):
+        pool: ProcessPoolExecutor | None = None
         try:
+            if reusable:
+                pool = _checkout_pool(
+                    n_workers,
+                    pool_key if initializer is not None else None,
+                    initializer,
+                    initargs,
+                )
+                return list(pool.map(fn, items, chunksize=chunksize))
             with ProcessPoolExecutor(
                 max_workers=n_workers,
                 initializer=initializer,
@@ -123,6 +206,9 @@ def parallel_map(
             break
         except TRANSIENT_POOL_ERRORS as exc:
             pool_failure = exc
+            if reusable and pool is not None:
+                # A broken pool must never be handed to the next call.
+                _discard_pool(pool)
             if attempt < pool_retries:
                 delay = backoff * (2**attempt)
                 _LOG.warning(

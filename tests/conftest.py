@@ -12,6 +12,22 @@ from repro.spice.flatten import flatten
 from repro.spice.parser import parse_netlist
 
 
+@pytest.fixture(autouse=True)
+def _fresh_worker_pools():
+    """Tear down warm executor pools after every test.
+
+    Pool reuse is great in production but hazardous across tests: a
+    forked worker snapshots the parent's (possibly monkeypatched)
+    module state at pool creation, so a cached pool could leak one
+    test's patches into the next.  Within a single test, reuse still
+    happens — that's what the pool-registry tests exercise.
+    """
+    yield
+    from repro.runtime.parallel import shutdown_pools
+
+    shutdown_pools()
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_model_cache(tmp_path_factory):
     """Point the trained-model cache at a session tmp dir.

@@ -1,13 +1,16 @@
-"""The process-pool map: ordering, fallback, worker resolution."""
+"""The process-pool map: ordering, fallback, worker resolution, and
+the warm-pool registry."""
 
 from __future__ import annotations
 
 import os
 
+from repro.runtime import parallel
 from repro.runtime.parallel import (
     default_chunksize,
     parallel_map,
     resolve_workers,
+    shutdown_pools,
 )
 
 
@@ -17,6 +20,22 @@ def _square(x: int) -> int:
 
 def _tag_pid(x: int) -> tuple[int, int]:
     return x, os.getpid()
+
+
+_STATE: str | None = None
+
+
+def _set_state(value: str) -> None:
+    global _STATE
+    _STATE = value
+
+
+def _get_state(x: int) -> tuple[str | None, int]:
+    return _STATE, os.getpid()
+
+
+def _noop_init() -> None:
+    pass
 
 
 class TestResolveWorkers:
@@ -89,3 +108,65 @@ class TestParallelMap:
 
         with pytest.raises(RuntimeError, match="worker failure"):
             parallel_map(boom, range(3), workers=1)
+
+
+class TestPoolReuse:
+    """ISSUE 6 satellite: ``parallel_map`` must not tear its pool down
+    on every call — warm pools are cached and handed back."""
+
+    def test_generic_pool_is_reused(self):
+        shutdown_pools()
+        first = {pid for _, pid in parallel_map(_tag_pid, range(8), workers=2)}
+        executor = parallel._POOLS.get((2, None))
+        assert executor is not None
+        second = {pid for _, pid in parallel_map(_tag_pid, range(8), workers=2)}
+        # Same executor object served both calls; a torn-down-and-
+        # rebuilt pool would have forked fresh worker processes.
+        assert parallel._POOLS.get((2, None)) is executor
+        assert len(first | second) <= 2
+        assert len(parallel._POOLS) == 1
+
+    def test_shutdown_pools_clears_registry(self):
+        shutdown_pools()
+        parallel_map(_square, range(4), workers=2)
+        assert parallel._POOLS
+        shutdown_pools()
+        assert not parallel._POOLS
+        # The registry refills on the next pooled call.
+        assert parallel_map(_square, range(4), workers=2) == [0, 1, 4, 9]
+        assert len(parallel._POOLS) == 1
+
+    def test_initializer_without_key_is_ephemeral(self):
+        shutdown_pools()
+        parallel_map(_square, range(4), workers=2, initializer=_noop_init)
+        # Unkeyed initializer state can't be trusted across calls.
+        assert not parallel._POOLS
+
+    def test_keyed_initializer_pool_is_reused(self):
+        shutdown_pools()
+        kwargs = dict(
+            workers=2,
+            initializer=_set_state,
+            initargs=("alpha",),
+            pool_key="state-alpha",
+        )
+        first = parallel_map(_get_state, range(4), **kwargs)
+        assert all(state == "alpha" for state, _ in first)
+        executor = parallel._POOLS.get((2, "state-alpha"))
+        assert executor is not None
+        second = parallel_map(_get_state, range(4), **kwargs)
+        # Reused workers still carry the initializer-installed state.
+        assert all(state == "alpha" for state, _ in second)
+        assert parallel._POOLS.get((2, "state-alpha")) is executor
+        pids = {pid for _, pid in first} | {pid for _, pid in second}
+        assert len(pids) <= 2
+        assert list(parallel._POOLS) == [(2, "state-alpha")]
+
+    def test_lru_evicts_oldest_pool(self):
+        shutdown_pools()
+        parallel_map(_square, range(4), workers=2)
+        parallel_map(_square, range(4), workers=3)
+        parallel_map(_square, range(4), workers=4)
+        keys = list(parallel._POOLS)
+        assert len(keys) == parallel._MAX_POOLS
+        assert (2, None) not in keys

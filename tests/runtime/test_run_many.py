@@ -110,6 +110,116 @@ class TestRunMany:
         _assert_same_results(batch, serial)
 
 
+class _CountingAnnotator:
+    """Delegates to a real annotator, counting the inference calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.annotate_calls = 0
+        self.batch_calls = 0
+
+    @property
+    def class_names(self):
+        return self.inner.class_names
+
+    @property
+    def model(self):
+        return self.inner.model
+
+    def annotate(self, graph, net_roles=None):
+        self.annotate_calls += 1
+        return self.inner.annotate(graph, net_roles=net_roles)
+
+    def annotate_batch(self, graphs, net_roles_list=None):
+        self.batch_calls += 1
+        return self.inner.annotate_batch(graphs, net_roles_list)
+
+
+class _ExplodingBatchAnnotator(_CountingAnnotator):
+    """Supports the packed API but always fails it — the chunk flow
+    must fall back to per-item inference with identical results."""
+
+    def annotate_batch(self, graphs, net_roles_list=None):
+        self.batch_calls += 1
+        raise RuntimeError("packed forward exploded")
+
+
+def _jobs_for(decks, names):
+    return [
+        {
+            "index": i,
+            "isolate": False,
+            "timeout": None,
+            "kwargs": {
+                "netlist": deck,
+                "net_roles": None,
+                "port_labels": None,
+                "name": name,
+                "infer_testbench": True,
+                "mode": "strict",
+                "profile": False,
+                "artifact_cache": None,
+            },
+        }
+        for i, (deck, name) in enumerate(zip(decks, names))
+    ]
+
+
+class TestBatchedChunkFlow:
+    """ISSUE 6 tentpole: a worker's chunk runs ONE packed GCN forward
+    for all of its decks instead of one per deck."""
+
+    def test_chunk_uses_one_packed_forward(
+        self, quick_ota_annotator, pipeline, decks
+    ):
+        from repro.core.pipeline import _run_pipeline_chunk
+
+        counting = _CountingAnnotator(quick_ota_annotator)
+        counted_pipeline = GanaPipeline(annotator=counting)
+        names = [f"sys{i}" for i in range(len(decks))]
+        results = _run_pipeline_chunk(
+            counted_pipeline, _jobs_for(decks, names)
+        )
+        assert counting.batch_calls == 1
+        assert counting.annotate_calls == 0
+        serial = [
+            pipeline.run(deck, name=name) for deck, name in zip(decks, names)
+        ]
+        _assert_same_results(results, serial)
+        # The packed GCN seconds are attributed back to the items.
+        assert all(r.timings["gcn"] > 0.0 for r in results)
+
+    def test_packed_failure_falls_back_per_item(
+        self, quick_ota_annotator, pipeline, decks
+    ):
+        from repro.core.pipeline import _run_pipeline_chunk
+
+        exploding = _ExplodingBatchAnnotator(quick_ota_annotator)
+        fallback_pipeline = GanaPipeline(annotator=exploding)
+        names = [f"sys{i}" for i in range(len(decks))]
+        results = _run_pipeline_chunk(
+            fallback_pipeline, _jobs_for(decks, names)
+        )
+        assert exploding.batch_calls == 1
+        assert exploding.annotate_calls == len(decks)
+        serial = [
+            pipeline.run(deck, name=name) for deck, name in zip(decks, names)
+        ]
+        _assert_same_results(results, serial)
+
+    def test_run_many_reuses_warm_pool(self, pipeline, decks):
+        from repro.runtime import parallel
+
+        parallel.shutdown_pools()
+        pipeline.run_many(decks, workers=2)
+        assert len(parallel._POOLS) == 1
+        (key,) = parallel._POOLS
+        pipeline.run_many(decks, workers=2)
+        # Same pipeline content → same key → the pool survived the
+        # first call and served the second.
+        assert list(parallel._POOLS) == [key]
+
+
 class _BoobyTrappedAnnotator:
     """Delegates to a real annotator but explodes on decks named ``bomb``.
 
