@@ -1,0 +1,170 @@
+"""CI smoke check: training checkpoints must stay cheap.
+
+Trains the quick OTA recognition spec twice from one seed — once plain
+and once with epoch checkpointing at the production cadence
+(``FaultTolerance(checkpoint_every=5)``, the ``pretrain_annotator``
+auto-checkpoint setting) — and fails when
+
+* the wall-clock spent writing checkpoint envelopes exceeds
+  ``--max-overhead`` (default 5%) of the checkpointed run's total
+  training time, or
+* the two runs' curves diverge (checkpointing only *reads* loop state;
+  a divergence means the snapshot path is perturbing training math).
+
+The measurement lands in the ``fault_tolerance`` section of
+``BENCH_runtime.json`` (``--no-commit`` skips the rewrite, for CI).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_checkpoint_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+#: The quick OTA spec (same literals as ``check_batch_regression``),
+#: with early stopping off so every run trains the same epoch count.
+TRAIN_SIZE = 72
+EPOCHS = 10
+BATCH_SIZE = 8
+SEED = 13
+#: The ``pretrain_annotator`` auto-checkpoint cadence.
+CHECKPOINT_EVERY = 5
+
+
+def measure(reps: int = 3) -> dict:
+    """Train the quick OTA spec with and without checkpointing.
+
+    Returns the best-of-``reps`` overhead fraction: wall-clock spent in
+    ``CheckpointStore.save`` over the checkpointed run's total
+    training seconds.  Curve parity with the plain run is asserted on
+    every rep.
+    """
+    from repro.datasets.synth import (
+        build_samples,
+        generate_ota_bias_dataset,
+        task_classes,
+    )
+    from repro.gcn.checkpoint import CheckpointStore
+    from repro.gcn.model import GCNConfig, GCNModel
+    from repro.gcn.samples import train_validation_split
+    from repro.gcn.train import FaultTolerance, TrainConfig, train
+
+    classes = task_classes("ota")
+    dataset = generate_ota_bias_dataset(
+        TRAIN_SIZE, seed=(SEED, "gcn-batching"), workers=1
+    )
+    samples = build_samples(dataset, classes, levels=2, workers=1)
+    train_samples, val_samples = train_validation_split(
+        samples, validation_fraction=0.2, seed=SEED
+    )
+    model_config = GCNConfig(
+        n_classes=len(classes),
+        filter_size=8,
+        channels=(16, 32),
+        fc_size=64,
+        seed=SEED,
+    )
+    train_config = TrainConfig(
+        epochs=EPOCHS, batch_size=BATCH_SIZE, patience=0, seed=SEED
+    )
+
+    plain = train(
+        GCNModel(model_config), train_samples, val_samples, train_config
+    )
+
+    overhead_fraction = float("inf")
+    checkpoint_seconds = train_seconds = float("inf")
+    envelopes = 0
+    for _ in range(max(1, reps)):
+        with tempfile.TemporaryDirectory() as directory:
+            history = train(
+                GCNModel(model_config),
+                train_samples,
+                val_samples,
+                train_config,
+                fault=FaultTolerance(
+                    checkpoint_dir=directory,
+                    checkpoint_every=CHECKPOINT_EVERY,
+                ),
+            )
+            envelopes = len(CheckpointStore(directory).paths())
+        # Checkpointing must be an observer: identical curves.
+        assert history.train_loss == plain.train_loss
+        assert history.val_accuracy == plain.val_accuracy
+        assert history.best_epoch == plain.best_epoch
+        fraction = history.checkpoint_seconds / max(history.seconds, 1e-9)
+        if fraction < overhead_fraction:
+            overhead_fraction = fraction
+            checkpoint_seconds = history.checkpoint_seconds
+            train_seconds = history.seconds
+
+    return {
+        "task": "ota",
+        "train_size": TRAIN_SIZE,
+        "epochs": EPOCHS,
+        "batch_size": BATCH_SIZE,
+        "seed": SEED,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "envelopes_written": envelopes,
+        "train_seconds": train_seconds,
+        "checkpoint_seconds": checkpoint_seconds,
+        "overhead_fraction": overhead_fraction,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="fail when checkpoint writes exceed this fraction of "
+        "training wall-clock (default 0.05)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="checkpointed training runs; the cheapest is compared "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--no-commit",
+        action="store_true",
+        help="skip rewriting the fault_tolerance BENCH_runtime.json section",
+    )
+    args = parser.parse_args(argv)
+
+    stats = measure(args.reps)
+    print(
+        "checkpoint overhead: {checkpoint_seconds:.4f}s of "
+        "{train_seconds:.4f}s training ({pct:.2f}%, limit {limit:.1f}%; "
+        "{envelopes_written} envelope(s) at every={checkpoint_every})".format(
+            pct=100 * stats["overhead_fraction"],
+            limit=100 * args.max_overhead,
+            **stats,
+        )
+    )
+    if stats["overhead_fraction"] > args.max_overhead:
+        print("FAIL: checkpointing exceeds its per-epoch overhead budget")
+        return 1
+
+    if not args.no_commit:
+        from benchmarks._common import update_bench_json
+
+        update_bench_json("fault_tolerance", stats)
+        print("updated BENCH_runtime.json [fault_tolerance]")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

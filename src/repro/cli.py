@@ -293,13 +293,30 @@ def _annotate_batch(
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.datasets.synth import pretrain_annotator
+    from repro.gcn.train import FaultTolerance
 
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    fault = None
+    if args.checkpoint_dir or args.max_divergence_retries is not None:
+        defaults = FaultTolerance()
+        fault = FaultTolerance(
+            checkpoint_dir=args.checkpoint_dir,
+            resume=bool(args.resume),
+            max_divergence_retries=(
+                args.max_divergence_retries
+                if args.max_divergence_retries is not None
+                else defaults.max_divergence_retries
+            ),
+        )
     annotator = pretrain_annotator(
         args.task,
         quick=args.quick,
         seed=args.seed,
         cache=False if args.no_cache else None,
         workers=args.workers,
+        fault=fault,
     )
     annotator.model.save(args.out)
     print(f"saved {args.task} model ({annotator.model.n_parameters()} params) to {args.out}")
@@ -462,6 +479,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         help="process-pool size for dataset generation (default: GANA_WORKERS or cpu count)",
+    )
+    train.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write per-epoch training checkpoints to DIR (a killed run "
+        "can resume with --resume)",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume training from the newest checkpoint in "
+        "--checkpoint-dir (corrupt/stale checkpoints are skipped with "
+        "a warning)",
+    )
+    train.add_argument(
+        "--max-divergence-retries",
+        type=int,
+        metavar="N",
+        help="rollback budget for NaN/exploding-gradient recovery "
+        "(default: 2; exhaustion aborts with a typed error)",
     )
     train.set_defaults(func=_cmd_train)
 

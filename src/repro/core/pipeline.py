@@ -95,6 +95,7 @@ from repro.runtime.resilience import (
     failure_report,
     stage,
     time_limit,
+    worker_crash_report,
 )
 from repro.spice.flatten import flatten
 from repro.spice.netlist import Circuit, Netlist, is_power_net
@@ -755,6 +756,19 @@ class GanaPipeline:
             and artifact_cache is None
             and callable(getattr(self.annotator, "annotate_batch", None))
         )
+        # Pool supervision (on_error="report" only): a worker killed
+        # outright (segfault, OOM kill, os._exit) breaks the whole
+        # executor, so parallel_map bisects the batch to quarantine the
+        # poison deck — its slot becomes a stage="worker" FailureReport
+        # while every sibling deck still completes.  With
+        # on_error="raise" the historical contract stands: blind
+        # retry, then the serial fallback re-raises.
+        def job_crash(job, exc):
+            return worker_crash_report(
+                exc, index=job["index"], name=job["kwargs"]["name"]
+            )
+
+        supervise = on_error == "report"
         if not batched:
             return parallel_map(
                 _pipeline_worker_run,
@@ -765,12 +779,32 @@ class GanaPipeline:
                 initargs=(self,),
                 pool_retries=pool_retries,
                 pool_key=self._pool_key(),
+                on_crash=job_crash if supervise else None,
             )
         # Contiguous chunks, one per worker, so every worker gets one
         # packed GCN forward for its whole share of the fleet.
         n_workers = min(resolve_workers(workers), len(jobs))
         bounds = [len(jobs) * k // n_workers for k in range(n_workers + 1)]
         chunks = [jobs[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+
+        def chunk_crash(chunk, exc):
+            # The crash is somewhere in this chunk.  Re-dispatch its
+            # jobs individually (plain per-item flow, no packed GCN)
+            # so only the poison deck degrades to a FailureReport.
+            if len(chunk) == 1:
+                return [job_crash(chunk[0], exc)]
+            return parallel_map(
+                _pipeline_worker_run,
+                chunk,
+                workers=min(n_workers, len(chunk)),
+                chunksize=1,
+                initializer=_pipeline_worker_init,
+                initargs=(self,),
+                pool_retries=0,
+                pool_key=self._pool_key(),
+                on_crash=job_crash,
+            )
+
         nested = parallel_map(
             _pipeline_worker_run_chunk,
             chunks,
@@ -780,6 +814,7 @@ class GanaPipeline:
             initargs=(self,),
             pool_retries=pool_retries,
             pool_key=self._pool_key(),
+            on_crash=chunk_crash if supervise else None,
         )
         return [result for chunk in nested for result in chunk]
 

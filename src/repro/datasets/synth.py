@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass
 
 from repro.core.annotator import GcnAnnotator
@@ -30,7 +31,7 @@ from repro.datasets.rf import (
 from repro.exceptions import DatasetError
 from repro.gcn.model import GCNConfig, GCNModel
 from repro.gcn.samples import GraphSample, train_validation_split
-from repro.gcn.train import TrainConfig, train
+from repro.gcn.train import FaultTolerance, TrainConfig, train
 from repro.graph.bipartite import CircuitGraph
 from repro.runtime.cache import ModelCache, cache_enabled, fingerprint
 from repro.runtime.parallel import parallel_map
@@ -232,6 +233,7 @@ def pretrain_annotator(
     train_size: int | None = None,
     cache: bool | None = None,
     workers: int | None = None,
+    fault: FaultTolerance | None = None,
 ) -> GcnAnnotator:
     """Generate data, train the Fig. 4 GCN, and wrap it as an annotator.
 
@@ -245,6 +247,15 @@ def pretrain_annotator(
     load it in milliseconds instead of retraining.  ``workers``
     controls dataset-generation parallelism (``GANA_WORKERS`` /
     cpu count by default).
+
+    ``fault`` configures training fault tolerance (see
+    :class:`~repro.gcn.train.FaultTolerance`).  When omitted and the
+    cache is on, training auto-checkpoints under the model cache's
+    checkpoint directory keyed by the training fingerprint — a killed
+    pretraining resumes from its last completed epoch, and the
+    checkpoints are removed once the finished model is stored.
+    Fault-tolerance knobs never enter the fingerprint, so the same
+    spec resolves to the same cached model no matter how it recovers.
     """
     classes = task_classes(task)
     if train_size is None:
@@ -270,6 +281,16 @@ def pretrain_annotator(
         cached = model_cache.load(key)
         if cached is not None:
             return cached
+    # Partial-train resume: auto-checkpoint cache-backed trainings under
+    # the fingerprint-keyed directory so a killed run picks up where it
+    # stopped.  The directory is temporary — removed below once the
+    # finished model lands in the cache proper.
+    auto_checkpoints = fault is None and use_cache
+    if auto_checkpoints:
+        fault = FaultTolerance(
+            checkpoint_dir=model_cache.checkpoint_dir_for(key),
+            checkpoint_every=5,
+        )
 
     dataset = (
         generate_ota_bias_dataset(
@@ -290,8 +311,11 @@ def pretrain_annotator(
         samples, validation_fraction=0.2, seed=seed
     )
     model = GCNModel(model_config)
-    train(model, train_samples, val_samples, train_config)
+    train(model, train_samples, val_samples, train_config, fault=fault)
     annotator = GcnAnnotator(model=model, class_names=classes)
     if use_cache:
         model_cache.store(key, annotator)
+    if auto_checkpoints and fault.checkpoint_dir is not None:
+        # The finished model supersedes its in-flight checkpoints.
+        shutil.rmtree(fault.checkpoint_dir, ignore_errors=True)
     return annotator

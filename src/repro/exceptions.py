@@ -64,6 +64,27 @@ class ArtifactError(GanaError):
     """Raised for unreadable, stale, or mistyped pipeline artifacts."""
 
 
+class TrainingDiverged(GanaError):
+    """Raised when GCN training diverges past its rollback budget.
+
+    The divergence guard in :func:`repro.gcn.train.train` detects a
+    non-finite minibatch loss or an exploding gradient norm, rolls the
+    run back to the last good epoch, and retries with a reduced
+    learning rate.  When the retry budget runs out, this carries the
+    epoch the run could not get past and how many rollbacks were spent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        epoch: int | None = None,
+        rollbacks: int | None = None,
+    ):
+        super().__init__(message)
+        self.epoch = epoch
+        self.rollbacks = rollbacks
+
+
 class BudgetExceeded(GanaError):
     """Raised when a search exhausts its step or wall-clock budget.
 

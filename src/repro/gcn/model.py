@@ -219,6 +219,31 @@ class GCNModel:
 
     # -- (de)serialization --------------------------------------------------
 
+    def rng_states(self) -> list[dict]:
+        """Dropout RNG states in layer order (plain JSON-able dicts).
+
+        Checkpoint/resume must restore these alongside the weights:
+        dropout draws advance the stream every training forward pass,
+        so a resumed run only replays the uninterrupted run's masks
+        bitwise when the generators pick up exactly where they stopped.
+        """
+        return [
+            dict(layer.rng.bit_generator.state)
+            for layer in self.layers
+            if isinstance(layer, Dropout)
+        ]
+
+    def set_rng_states(self, states: list[dict]) -> None:
+        """Restore the streams captured by :meth:`rng_states`."""
+        dropouts = [layer for layer in self.layers if isinstance(layer, Dropout)]
+        if len(states) != len(dropouts):
+            raise ModelConfigError(
+                f"got {len(states)} dropout RNG states for "
+                f"{len(dropouts)} dropout layers"
+            )
+        for layer, state in zip(dropouts, states):
+            layer.rng.bit_generator.state = state
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Flat name→array mapping of every parameter and BN statistic."""
         state: dict[str, np.ndarray] = {}

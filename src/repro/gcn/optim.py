@@ -20,6 +20,19 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Resumable optimizer state (copies; JSON scalars + arrays).
+
+        The layout is flat — scalar entries plus ``np.ndarray`` entries —
+        so checkpoint envelopes can split it into an npz payload and a
+        JSON header without knowing which optimizer produced it.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (shape-checked)."""
+        raise NotImplementedError
+
     def decay_lr(self, factor: float) -> None:
         """Multiply the learning rate by ``factor`` (decay-rate knob)."""
         self.lr *= factor
@@ -47,6 +60,31 @@ class SGD(Optimizer):
                 g = self._decayed_grad(key, params[key], grads[key])
                 vel[key] = self.momentum * vel[key] - self.lr * g
                 params[key] += vel[key]
+
+    def state_dict(self) -> dict:
+        state: dict = {"kind": "sgd", "lr": float(self.lr)}
+        for idx, vel in enumerate(self.velocity):
+            for key, value in vel.items():
+                state[f"velocity{idx}.{key}"] = value.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "sgd":
+            raise ModelConfigError(
+                f"optimizer state is {state.get('kind')!r}, expected 'sgd'"
+            )
+        for idx, vel in enumerate(self.velocity):
+            for key in vel:
+                name = f"velocity{idx}.{key}"
+                if name not in state:
+                    raise ModelConfigError(f"missing optimizer state {name}")
+                if state[name].shape != vel[key].shape:
+                    raise ModelConfigError(
+                        f"shape mismatch for optimizer state {name}: "
+                        f"{state[name].shape} vs {vel[key].shape}"
+                    )
+                vel[key] = state[name].copy()
+        self.lr = float(state["lr"])
 
 
 class Adam(Optimizer):
@@ -103,3 +141,28 @@ class Adam(Optimizer):
         for params, grads, key, start, stop in self._entries:
             view = update[start:stop]
             params[key] -= view.reshape(params[key].shape)
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "adam",
+            "lr": float(self.lr),
+            "t": int(self.t),
+            "m": self.m.copy(),
+            "v": self.v.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "adam":
+            raise ModelConfigError(
+                f"optimizer state is {state.get('kind')!r}, expected 'adam'"
+            )
+        for moment in ("m", "v"):
+            if state[moment].shape != getattr(self, moment).shape:
+                raise ModelConfigError(
+                    f"optimizer moment {moment!r} has shape "
+                    f"{state[moment].shape}, expected {getattr(self, moment).shape}"
+                )
+        self.m[:] = state["m"]
+        self.v[:] = state["v"]
+        self.t = int(state["t"])
+        self.lr = float(state["lr"])

@@ -206,6 +206,19 @@ class ModelCache:
                 pass
             return None
 
+    # -- partial-train resume --------------------------------------------
+
+    def checkpoint_dir_for(self, key: str) -> Path:
+        """Epoch-checkpoint directory for the training run behind ``key``.
+
+        ``pretrain_annotator`` checkpoints an in-flight training run
+        here (one subdirectory per training fingerprint, so unrelated
+        specs never read each other's envelopes) and removes the
+        directory once the finished model lands in the cache proper —
+        a killed pretraining resumes instead of starting over.
+        """
+        return self.directory / "checkpoints" / key
+
     # -- maintenance -----------------------------------------------------
 
     def entries(self) -> list[Path]:
@@ -214,7 +227,8 @@ class ModelCache:
         return sorted(self.directory.glob("*.npz"))
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and any in-flight training
+        checkpoints); returns the number of entries removed."""
         removed = 0
         for path in self.entries():
             try:
@@ -222,6 +236,11 @@ class ModelCache:
                 removed += 1
             except OSError:
                 pass
+        checkpoints = self.directory / "checkpoints"
+        if checkpoints.is_dir():
+            import shutil
+
+            shutil.rmtree(checkpoints, ignore_errors=True)
         return removed
 
 

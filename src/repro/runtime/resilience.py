@@ -173,6 +173,42 @@ def failure_report(
     )
 
 
+def worker_crash_report(
+    exc: BaseException, index: int | None = None, name: str = ""
+) -> FailureReport:
+    """Build the :class:`FailureReport` for a quarantined poison item.
+
+    A worker that dies outright (segfault, ``os._exit``, OOM kill)
+    never gets to build its own report — the parent only sees the
+    executor's ``BrokenProcessPool``.  This wraps that parent-side
+    exception in the standard report shape, with stage ``"worker"``
+    marking that the process itself was lost rather than any pipeline
+    stage failing.
+    """
+    return FailureReport(
+        stage="worker",
+        error=f"{type(exc).__name__}: {exc}",
+        exception_chain=exception_chain(exc),
+        diagnostics=(
+            Diagnostic(
+                severity=ERROR,
+                message=(
+                    "worker process died while running this item; the item "
+                    "was quarantined and the rest of the batch completed"
+                ),
+                card=name or "worker",
+                hint=(
+                    "the input likely triggers a native-level crash or "
+                    "out-of-memory kill; rerun it alone under a memory/"
+                    "time budget to reproduce"
+                ),
+            ),
+        ),
+        index=index,
+        name=name,
+    )
+
+
 @contextmanager
 def stage(
     name: str,

@@ -4,6 +4,11 @@ the warm-pool registry."""
 from __future__ import annotations
 
 import os
+import signal
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
 
 from repro.runtime import parallel
 from repro.runtime.parallel import (
@@ -170,3 +175,123 @@ class TestPoolReuse:
         keys = list(parallel._POOLS)
         assert len(keys) == parallel._MAX_POOLS
         assert (2, None) not in keys
+
+
+def _exit_on_three(x: int) -> int:
+    if x == 3:
+        os._exit(1)  # simulated segfault: kills the worker, no traceback
+    return x * 2
+
+
+def _always_exit(x: int) -> int:
+    os._exit(1)
+
+
+def _crash_once_marker(payload) -> int:
+    """Dies while the marker file exists (and disarms it): a transient
+    crash — an OOM-killed worker — rather than a poison item."""
+    marker, x = payload
+    if x == 0 and os.path.exists(marker):
+        try:
+            os.unlink(marker)
+        except OSError:
+            pass
+        os._exit(1)
+    return x
+
+
+def _lost(item, exc):
+    return ("lost", item)
+
+
+class TestPoolSupervision:
+    """ISSUE 7: broken pools are quarantined, not resold.
+
+    ``_checkout_pool`` must never hand out an executor with a dead
+    worker; a poison item that kills its worker is bisected out and
+    mapped through ``on_crash`` while its siblings complete.
+    """
+
+    def _break_warm_pool(self):
+        shutdown_pools()
+        parallel.reset_pool_health()
+        assert parallel_map(_square, range(8), workers=2) == [
+            x * x for x in range(8)
+        ]
+        executor = parallel._POOLS[(2, None)]
+        with pytest.raises(BrokenProcessPool):
+            executor.submit(os._exit, 1).result()
+        return executor
+
+    def test_checkout_discards_pool_with_dead_worker(self):
+        # The worker dies *between* calls (external SIGKILL / OOM
+        # killer) — nothing marks the executor broken until it is
+        # health-checked at the next checkout.
+        shutdown_pools()
+        parallel.reset_pool_health()
+        parallel_map(_square, range(8), workers=2)
+        executor = parallel._POOLS[(2, None)]
+        victim_pid, victim = next(iter(executor._processes.items()))
+        os.kill(victim_pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while victim.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not parallel._pool_is_healthy(executor)
+
+        assert parallel_map(_square, range(8), workers=2) == [
+            x * x for x in range(8)
+        ]
+        assert parallel._POOLS[(2, None)] is not executor
+        assert parallel.pool_health()[(2, None)].rebuilt == 1
+
+    def test_broken_executor_is_rebuilt_at_checkout(self):
+        executor = self._break_warm_pool()
+        assert parallel_map(_square, range(8), workers=2) == [
+            x * x for x in range(8)
+        ]
+        assert parallel._POOLS[(2, None)] is not executor
+        assert parallel.pool_health()[(2, None)].rebuilt >= 1
+
+    def test_shutdown_pools_survives_broken_pool(self):
+        self._break_warm_pool()
+        shutdown_pools()  # must neither raise nor hang on the corpse
+        assert not parallel._POOLS
+
+    def test_poison_item_is_quarantined_and_siblings_complete(self):
+        shutdown_pools()
+        parallel.reset_pool_health()
+        out = parallel_map(
+            _exit_on_three, range(6), workers=2, on_crash=_lost
+        )
+        assert out == [0, 2, 4, ("lost", 3), 8, 10]
+        health = parallel.pool_health()[(2, None)]
+        assert health.breaks >= 1
+        assert health.quarantined == 1
+        # The broken pool was evicted; the next call starts healthy.
+        assert parallel_map(_square, range(6), workers=2) == [
+            x * x for x in range(6)
+        ]
+
+    def test_every_item_poison_still_returns_placeholders(self):
+        shutdown_pools()
+        parallel.reset_pool_health()
+        out = parallel_map(_always_exit, range(4), workers=2, on_crash=_lost)
+        assert out == [("lost", x) for x in range(4)]
+        assert parallel.pool_health()[(2, None)].quarantined == 4
+
+    def test_transient_crash_with_supervision_loses_nothing(self, tmp_path):
+        # A once-only crash is not a poison item: bisection reruns both
+        # halves on fresh pools, everything completes, nothing is
+        # quarantined.
+        shutdown_pools()
+        parallel.reset_pool_health()
+        marker = tmp_path / "crash-once"
+        marker.write_text("armed")
+        items = [(str(marker), x) for x in range(6)]
+        out = parallel_map(
+            _crash_once_marker, items, workers=2, on_crash=_lost
+        )
+        assert out == list(range(6))
+        health = parallel.pool_health()[(2, None)]
+        assert health.breaks >= 1
+        assert health.quarantined == 0
