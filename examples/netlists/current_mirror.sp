@@ -1,0 +1,4 @@
+* nmos current mirror (paper fig. 2)
+m0 d1 d1 s gnd! nmos w=1u l=100n
+m1 d2 d1 s gnd! nmos w=1u l=100n
+.end

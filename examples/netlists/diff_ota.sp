@@ -1,0 +1,8 @@
+* differential ota (paper fig. 3)
+m0 n1 n1 gnd! gnd! nmos w=1u l=100n
+m1 id n1 gnd! gnd! nmos w=1u l=100n
+m2 voutn vinp id gnd! nmos w=2u l=100n
+m3 voutp vinn id gnd! nmos w=2u l=100n
+m4 voutn vbp vdd! vdd! pmos w=4u l=100n
+m5 voutp vbp vdd! vdd! pmos w=4u l=100n
+.end

@@ -1,0 +1,13 @@
+* two-level hierarchy: a buffer of two inverters driving a load
+.global vdd! gnd!
+.subckt inverter in out
+mn out in gnd! gnd! nmos w=1u l=100n
+mp out in vdd! vdd! pmos w=2u l=100n
+.ends
+.subckt buffer in out
+x1 in mid inverter
+x2 mid out inverter
+.ends
+xbuf a b buffer
+rload b gnd! 10k
+.end

@@ -1,0 +1,12 @@
+* current-mirror bank with per-instance multipliers
+.global vdd! gnd!
+.subckt mirror ref out
+m0 ref ref gnd! gnd! nmos w=1u l=100n
+m1 out ref gnd! gnd! nmos w=1u l=100n
+rdeg out vdd! 2k
+.ends
+xm0 bias o0 mirror
+xm1 bias o1 mirror
+xm2 bias o2 mirror m=2
+cload o2 gnd! 1p
+.end

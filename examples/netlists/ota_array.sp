@@ -1,0 +1,15 @@
+* three identical ota cells plus a glue mirror at the top level
+.global vdd! gnd!
+.subckt otacell vinp vinn voutp voutn
+m0 n1 n1 gnd! gnd! nmos w=1u l=100n
+m1 id n1 gnd! gnd! nmos w=1u l=100n
+m2 voutn vinp id gnd! nmos w=2u l=100n
+m3 voutp vinn id gnd! nmos w=2u l=100n
+m4 voutn vbp vdd! vdd! pmos w=4u l=100n
+m5 voutp vbp vdd! vdd! pmos w=4u l=100n
+.ends
+x0 a0 b0 c0 d0 otacell
+x1 a1 b1 c1 d1 otacell
+x2 a2 b2 c2 d2 otacell
+mglue ng ng gnd! gnd! nmos w=1u l=100n
+.end

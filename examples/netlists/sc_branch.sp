@@ -1,0 +1,8 @@
+* parasitic-insensitive switched-capacitor branch
+msw1 vin phi1 top gnd! nmos w=0.5u l=100n
+c1 top bot 0.8p
+msw2 bot phi1 gnd! gnd! nmos w=0.5u l=100n
+msw3 top phi2 gnd! gnd! nmos w=0.5u l=100n
+msw4 bot phi2 vout gnd! nmos w=0.5u l=100n
+cint vout gnd! 1p
+.end

@@ -83,8 +83,12 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         port_labels[net] = label
 
     mode = "lenient" if args.lenient else "strict"
+    if args.hier_tree and args.flat:
+        print("error: --hier-tree implies --hier, not --flat", file=sys.stderr)
+        return 2
+    hier = bool(args.hier or args.hier_tree)
     if len(paths) > 1:
-        return _annotate_batch(args, pipeline, paths, port_labels, mode)
+        return _annotate_batch(args, pipeline, paths, port_labels, mode, hier)
     if args.stop_after or args.resume_from:
         profiler = None
         if args.profile:
@@ -101,6 +105,8 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             save_artifacts=args.save_artifacts,
             resume_from=args.resume_from,
             stop_after=args.stop_after,
+            hier=hier,
+            hier_tree=bool(args.hier_tree),
         )
         if not staged.complete:
             return _report_staged_stop(args, staged, profiler)
@@ -114,9 +120,12 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             profile=bool(args.profile),
             artifact_cache=args.artifact_cache,
             save_artifacts=args.save_artifacts,
+            hier=hier,
+            hier_tree=bool(args.hier_tree),
         )
     source = paths[0] if paths else Path(args.resume_from)
     _report_result_health(source, result)
+    _report_hier_summary(result)
 
     if args.profile:
         Path(args.profile).write_text(json.dumps(result.profile, indent=2) + "\n")
@@ -147,6 +156,7 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             "devices": result.annotation.element_classes,
             "nets": result.annotation.net_classes,
             "hierarchy": result.hierarchy.to_dict(),
+            "hier": result.hier.as_dict() if result.hier else None,
             "timings": result.timings,
             "degraded": result.degraded,
             "diagnostics": [d.to_dict() for d in result.diagnostics],
@@ -193,6 +203,20 @@ def _report_staged_stop(args: argparse.Namespace, staged, profiler) -> int:
     return 0
 
 
+def _report_hier_summary(result) -> None:
+    """One stderr line summarizing what ``--hier`` reused, if anything."""
+    report = getattr(result, "hier", None)
+    if report is None:
+        return
+    print(
+        f"hier: {report.n_instances} instance(s) of "
+        f"{report.n_unique_groups} unique definition(s); "
+        f"{report.reused}/{report.interior} interior CCC match sets "
+        f"reused ({report.boundary} boundary)",
+        file=sys.stderr,
+    )
+
+
 def _report_result_health(path: Path, result) -> None:
     """Surface lenient-mode diagnostics and degradation on stderr."""
     for diag in result.diagnostics:
@@ -210,6 +234,7 @@ def _annotate_batch(
     paths: list[Path],
     port_labels: dict,
     mode: str,
+    hier: bool = False,
 ) -> int:
     """Batch-annotate several decks through ``GanaPipeline.run_many``.
 
@@ -227,6 +252,7 @@ def _annotate_batch(
         timeout=args.timeout,
         profile=bool(args.profile),
         artifact_cache=args.artifact_cache,
+        hier=hier,
     )
     if args.profile:
         # Failed items carry the partial pre-failure profile too
@@ -250,6 +276,7 @@ def _annotate_batch(
                 print(f"{path}: {diag.format()}", file=sys.stderr)
         else:
             _report_result_health(path, result)
+            _report_hier_summary(result)
     if args.json:
         payload = []
         for path, result in zip(paths, results):
@@ -260,6 +287,9 @@ def _annotate_batch(
                         "devices": result.annotation.element_classes,
                         "nets": result.annotation.net_classes,
                         "hierarchy": result.hierarchy.to_dict(),
+                        "hier": (
+                            result.hier.as_dict() if result.hier else None
+                        ),
                         "timings": result.timings,
                         "degraded": result.degraded,
                         "diagnostics": [
@@ -439,6 +469,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         help="process-pool size for batch annotation (default: GANA_WORKERS or cpu count)",
+    )
+    elaboration = annotate.add_mutually_exclusive_group()
+    elaboration.add_argument(
+        "--hier",
+        action="store_true",
+        help="hierarchy-scoped annotation: match each unique subckt "
+        "definition once and replay the results onto every instance "
+        "(byte-identical output, faster on repeated-instance designs)",
+    )
+    elaboration.add_argument(
+        "--flat",
+        action="store_true",
+        help="force the flat annotation path (default)",
+    )
+    annotate.add_argument(
+        "--hier-tree",
+        action="store_true",
+        help="with --hier (implied): nest recognized blocks under their "
+        "owning subckt instances in the hierarchy tree",
     )
     strictness = annotate.add_mutually_exclusive_group()
     strictness.add_argument(

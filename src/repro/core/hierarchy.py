@@ -60,6 +60,43 @@ class HierarchyNode:
                 return node
         return None
 
+    def child(self, name: str) -> "HierarchyNode | None":
+        """Shallow (direct-children-only) lookup by name."""
+        for node in self.children:
+            if node.name == name:
+                return node
+        return None
+
+    def ensure_path(
+        self, path: tuple[str, ...], block_classes: dict[str, str] | None = None
+    ) -> "HierarchyNode":
+        """Walk (creating as needed) a chain of nested sub-block nodes.
+
+        ``path`` is an instance path split into segments
+        (``("xrx0", "xlna")``); each missing segment becomes a
+        SUBBLOCK child whose ``block_class`` comes from
+        ``block_classes`` (keyed by the joined path so far).  Returns
+        the node at the end of the path — used by the instance-table
+        hierarchy mode to mirror true subckt nesting.
+        """
+        node = self
+        so_far: list[str] = []
+        for segment in path:
+            so_far.append(segment)
+            existing = node.child(segment)
+            if existing is None:
+                existing = node.add(
+                    HierarchyNode(
+                        name=segment,
+                        kind=NodeKind.SUBBLOCK,
+                        block_class=(block_classes or {}).get(
+                            "/".join(so_far), ""
+                        ),
+                    )
+                )
+            node = existing
+        return node
+
     def subblocks(self) -> list["HierarchyNode"]:
         return [n for n in self.walk() if n.kind is NodeKind.SUBBLOCK]
 

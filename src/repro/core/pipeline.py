@@ -97,7 +97,7 @@ from repro.runtime.resilience import (
     time_limit,
     worker_crash_report,
 )
-from repro.spice.flatten import flatten
+from repro.spice.flatten import SEP, flatten, flatten_hierarchical
 from repro.spice.netlist import Circuit, Netlist, is_power_net
 from repro.spice.parser import parse_netlist
 from repro.spice.preprocess import PreprocessReport, preprocess
@@ -128,6 +128,11 @@ class PipelineResult:
     #: fallback instead.
     degraded: bool = False
     degraded_reason: str | None = None
+    #: Hierarchy-scoped annotation report (``--hier`` runs only):
+    #: definition/instance statistics, reuse counts, and advisory
+    #: per-definition GCN summaries.  Advisory — the annotation itself
+    #: is byte-identical to the flat path.
+    hier: "HierReport | None" = None
 
     @property
     def ok(self) -> bool:
@@ -150,7 +155,9 @@ class PipelineResult:
 
 
 def build_hierarchy(
-    result: PostprocessResult, system_name: str
+    result: PostprocessResult,
+    system_name: str,
+    instances: "tuple | None" = None,
 ) -> tuple[HierarchyNode, ConstraintSet]:
     """Assemble the hierarchy tree from a postprocessed annotation.
 
@@ -159,10 +166,38 @@ def build_hierarchy(
     class-implied constraints plus the constraints of the primitives
     inside it, with symmetry axes merged per sub-block (Sec. IV-B).
     Stand-alone primitives hang off the system root.
+
+    ``instances`` (a :class:`~repro.spice.flatten.DesignTree` instance
+    table) switches sub-block *placement* to true subckt nesting: each
+    recognized block hangs under the chain of instance-path nodes that
+    own its devices instead of directly under the root, so the tree
+    mirrors the designer's hierarchy (``--hier-tree``).  Grouping,
+    naming, and constraints are unchanged — only where blocks attach.
     """
     annotation = result.annotation
     graph = annotation.graph
     partition = result.partition
+
+    instance_index: dict[str, object] = {}
+    block_classes: dict[str, str] = {}
+    if instances:
+        for rec in instances:
+            instance_index[rec.path] = rec
+            block_classes[rec.path] = rec.definition
+
+    def owner_path(devices: "set[str]") -> tuple[str, ...]:
+        """Deepest recorded instance path prefixing every device."""
+        if not instance_index or not devices:
+            return ()
+        parts = next(iter(devices)).split(SEP)[:-1]
+        for depth in range(len(parts), 0, -1):
+            path = SEP.join(parts[:depth])
+            if path not in instance_index:
+                continue
+            prefix = path + SEP
+            if all(name.startswith(prefix) for name in devices):
+                return tuple(parts[:depth])
+        return ()
 
     root = HierarchyNode(name=system_name, kind=NodeKind.SYSTEM)
     all_constraints = ConstraintSet()
@@ -214,10 +249,12 @@ def build_hierarchy(
         block.constraints.extend(subblock_constraints(cls_name, block_name))
 
         block_constraints = ConstraintSet()
+        group_devices: set[str] = set()
         for member_cid in group:
             member_devices = {
                 graph.elements[i].name for i in partition.components[member_cid]
             }
+            group_devices |= member_devices
             claimed: set[str] = set()
             for match in result.ccc_matches.get(member_cid, []):
                 primitive = HierarchyNode(
@@ -241,12 +278,18 @@ def build_hierarchy(
         block.constraints.extend(
             c for c in merged if c not in block.constraints
         )
-        root.add(block)
+        parent = (
+            root.ensure_path(owner_path(group_devices), block_classes)
+            if instance_index
+            else root
+        )
+        parent.add(block)
         all_constraints.extend(block.constraints)
         for child in block.children:
             all_constraints.extend(child.constraints)
 
-    # Stand-alone primitives get their own top-level hierarchy.
+    # Stand-alone primitives get their own top-level hierarchy (or,
+    # in instance-table mode, hang under their owning instance).
     for cid, match in result.standalone:
         node = HierarchyNode(
             name=f"standalone/{match.primitive}@{min(match.elements)}",
@@ -255,7 +298,12 @@ def build_hierarchy(
             devices=tuple(sorted(match.elements)),
             constraints=list(match.constraints),
         )
-        root.add(node)
+        parent = (
+            root.ensure_path(owner_path(set(match.elements)), block_classes)
+            if instance_index
+            else root
+        )
+        parent.add(node)
         all_constraints.extend(node.constraints)
 
     return root, all_constraints
@@ -328,6 +376,8 @@ class GanaPipeline:
         profile: bool = False,
         artifact_cache: ArtifactCache | str | Path | None = None,
         save_artifacts: str | Path | None = None,
+        hier: bool = False,
+        hier_tree: bool = False,
     ) -> PipelineResult:
         """Execute the full flow on a SPICE deck / netlist / flat circuit.
 
@@ -376,6 +426,8 @@ class GanaPipeline:
             profiler=profiler,
             artifact_cache=artifact_cache,
             save_artifacts=save_artifacts,
+            hier=hier,
+            hier_tree=hier_tree,
         )
         return self.result_from_staged(staged, profiler=profiler)
 
@@ -393,6 +445,8 @@ class GanaPipeline:
         resume_from=None,
         stop_after: StageName | str | None = None,
         gcn_annotation: Annotation | None = None,
+        hier: bool = False,
+        hier_tree: bool = False,
     ) -> StagedRun:
         """Run the stage chain with full staged-execution control.
 
@@ -415,7 +469,18 @@ class GanaPipeline:
         :meth:`GcnAnnotator.annotate_batch` pass) to adopt instead of
         calling the annotator; degrade/confidence-floor semantics still
         apply to it.
+
+        ``hier`` turns on hierarchy-scoped annotation: flattening also
+        emits a :class:`~repro.spice.flatten.DesignTree`, and
+        Postprocessing I dedupes VF2 matching across repeated subckt
+        instances (byte-identical results; see
+        :mod:`repro.core.hier_annotate`).  ``hier_tree`` (implies
+        ``hier``) additionally builds the hierarchy tree from the
+        instance table, nesting recognized blocks under their true
+        subckt instances — a deliberate output-shape deviation from
+        the flat path.
         """
+        hier = hier or hier_tree
         cache = artifact_cache
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
@@ -443,6 +508,8 @@ class GanaPipeline:
             cache=cache,
             save_dir=Path(save_artifacts) if save_artifacts else None,
             gcn_annotation=gcn_annotation,
+            hier=hier,
+            hier_tree=hier_tree,
         )
         runner = StagedRunner(default_stages())
         return runner.execute(ctx, resume=resume, stop_after=stop_after)
@@ -472,6 +539,7 @@ class GanaPipeline:
             degraded=final.degraded,
             degraded_reason=final.degraded_reason,
             profile=profile_dict,
+            hier=getattr(final, "hier", None),
         )
 
     def _run_monolith(
@@ -661,6 +729,7 @@ class GanaPipeline:
         pool_retries: int = 2,
         profile: bool = False,
         artifact_cache: ArtifactCache | str | Path | None = None,
+        hier: bool = False,
     ) -> list[PipelineResult | FailureReport]:
         """Annotate a fleet of netlists, in parallel where possible.
 
@@ -745,6 +814,7 @@ class GanaPipeline:
                     "mode": mode,
                     "profile": profile,
                     "artifact_cache": artifact_cache,
+                    "hier": hier,
                 },
             }
             for i, netlist in enumerate(netlists)
@@ -894,6 +964,7 @@ class PreprocessStage:
             ctx.infer_testbench,
             ctx.port_labels,
             ctx.net_roles,
+            ctx.hier,
         )
 
     def run(self, upstream: ParsedDeck, ctx: RunContext) -> FlatDesign:
@@ -901,12 +972,19 @@ class PreprocessStage:
         lenient = ctx.mode == "lenient"
         # Flatten failures keep their historical "parse" failure tag
         # (innermost stage guard wins).
+        tree = None
         with stage(StageName.PARSE, diagnostics=ctx.diagnostics):
             if isinstance(source, Netlist):
-                flat = flatten(
-                    source,
-                    diagnostics=ctx.diagnostics if lenient else None,
-                )
+                if ctx.hier:
+                    flat, tree = flatten_hierarchical(
+                        source,
+                        diagnostics=ctx.diagnostics if lenient else None,
+                    )
+                else:
+                    flat = flatten(
+                        source,
+                        diagnostics=ctx.diagnostics if lenient else None,
+                    )
             else:
                 flat = source
         port_labels = ctx.port_labels
@@ -934,6 +1012,7 @@ class PreprocessStage:
             port_labels=port_labels,
             net_roles=net_roles,
             diagnostics=tuple(ctx.diagnostics),
+            tree=tree,
         )
 
 
@@ -956,6 +1035,7 @@ class GraphStage:
             port_labels=upstream.port_labels,
             net_roles=upstream.net_roles,
             diagnostics=tuple(ctx.diagnostics),
+            tree=getattr(upstream, "tree", None),
         )
 
 
@@ -1032,6 +1112,7 @@ class GcnStage:
             degraded=degraded_reason is not None,
             degraded_reason=degraded_reason,
             diagnostics=tuple(ctx.diagnostics),
+            tree=getattr(upstream, "tree", None),
         )
 
 
@@ -1049,15 +1130,28 @@ class Post1Stage:
             upstream_fp,
             library_fingerprint(ctx.pipeline.library),
             ctx.pipeline.detect_bpf,
+            ctx.hier,
         )
 
     def run(self, upstream: GcnPrediction, ctx: RunContext) -> Post1Result:
         from repro.graph.ccc import CCCPartition
 
         pipeline = ctx.pipeline
-        match_cache = (
-            PrimitiveMatchCache(ctx.cache) if ctx.cache is not None else None
-        )
+        tree = getattr(upstream, "tree", None)
+        hier_cache = None
+        if ctx.hier and tree is not None and tree.instances:
+            from repro.core.hier_annotate import HierMatchCache
+
+            hier_cache = HierMatchCache(
+                tree, artifact_cache=ctx.cache, profiler=ctx.profiler
+            )
+            match_cache = hier_cache
+        else:
+            match_cache = (
+                PrimitiveMatchCache(ctx.cache)
+                if ctx.cache is not None
+                else None
+            )
         # The CCC partition depends only on the graph/annotation, not on
         # the library — key it off the upstream (gcn) derivation key so
         # a library-only change reuses it across runs.
@@ -1080,6 +1174,28 @@ class Post1Stage:
         )
         if partition is None and partition_key is not None:
             ctx.cache.store(partition_key, post1.partition)
+        hier_report = None
+        if hier_cache is not None:
+            from repro.core.hier_annotate import annotate_definitions
+
+            definition_annotations = ()
+            try:
+                # Advisory per-definition summaries (one packed GCN
+                # forward over the unique bodies); never allowed to
+                # fail the run — the byte-identical output path does
+                # not consume them.
+                definition_annotations = annotate_definitions(
+                    tree, pipeline.annotator, cache=ctx.cache
+                )
+            except Exception:
+                _LOG.warning(
+                    "per-definition annotation failed; continuing "
+                    "without definition summaries",
+                    exc_info=True,
+                )
+            hier_report = hier_cache.finalize(
+                definition_annotations=definition_annotations
+            )
         return Post1Result(
             post1=post1,
             gcn_annotation=upstream.annotation,
@@ -1089,6 +1205,8 @@ class Post1Stage:
             degraded=upstream.degraded,
             degraded_reason=upstream.degraded_reason,
             diagnostics=tuple(ctx.diagnostics),
+            tree=tree,
+            hier=hier_report,
         )
 
 
@@ -1113,6 +1231,8 @@ class Post2Stage:
             degraded=upstream.degraded,
             degraded_reason=upstream.degraded_reason,
             diagnostics=tuple(ctx.diagnostics),
+            tree=getattr(upstream, "tree", None),
+            hier=getattr(upstream, "hier", None),
         )
 
 
@@ -1125,12 +1245,18 @@ class HierarchyStage:
         if upstream_fp is None:
             return None
         return content_fingerprint(
-            "stage", self.name.value, upstream_fp, ctx.name
+            "stage", self.name.value, upstream_fp, ctx.name, ctx.hier_tree
         )
 
     def run(self, upstream: Post2Result, ctx: RunContext) -> AnnotatedDesign:
+        tree = getattr(upstream, "tree", None)
+        instances = (
+            tree.instances if ctx.hier_tree and tree is not None else None
+        )
         hierarchy, constraints = build_hierarchy(
-            upstream.post2, system_name=ctx.name or upstream.design_name
+            upstream.post2,
+            system_name=ctx.name or upstream.design_name,
+            instances=instances,
         )
         return AnnotatedDesign(
             hierarchy=hierarchy,
@@ -1143,6 +1269,7 @@ class HierarchyStage:
             degraded=upstream.degraded,
             degraded_reason=upstream.degraded_reason,
             diagnostics=tuple(ctx.diagnostics),
+            hier=getattr(upstream, "hier", None),
         )
 
 
@@ -1216,6 +1343,7 @@ def _run_pipeline_chunk(
                 mode=kwargs["mode"],
                 profiler=profilers[k],
                 stop_after=StageName.GRAPH,
+                hier=kwargs.get("hier", False),
             )
         except Exception as exc:
             if not job["isolate"]:
@@ -1258,6 +1386,7 @@ def _run_pipeline_chunk(
                 profiler=profilers[k],
                 resume_from=[phase1[k].artifacts[StageName.GRAPH]],
                 gcn_annotation=annotations.get(k),
+                hier=kwargs.get("hier", False),
             )
             # Resuming seeds the pre-graph stages at 0 s; fold the real
             # phase-1 numbers back in, plus this item's share of the

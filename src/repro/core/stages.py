@@ -263,7 +263,9 @@ def annotator_fingerprint(annotator: "GcnAnnotator") -> str:
 
 #: Bumped when any artifact's schema changes; saved envelopes with a
 #: different version refuse to load (and cache entries miss).
-ARTIFACT_FORMAT_VERSION = 1
+#: Version 2: artifacts grew the hierarchy-scoped annotation fields
+#: (``tree``/``hier``) — version-1 pickles predate them.
+ARTIFACT_FORMAT_VERSION = 2
 
 #: File suffix used by :meth:`Artifact.save` / :func:`load_artifacts`.
 ARTIFACT_SUFFIX = ".artifact.pkl"
@@ -383,6 +385,8 @@ class FlatDesign(Artifact):
     port_labels: dict[str, str] | None = None
     net_roles: "dict[str, NetRole] | None" = None
     diagnostics: tuple[Diagnostic, ...] = ()
+    #: Hierarchy sidecar (``--hier`` runs only; None on the flat path).
+    tree: "DesignTree | None" = None
 
 
 @dataclass
@@ -398,6 +402,7 @@ class FeaturedGraph(Artifact):
     port_labels: dict[str, str] | None = None
     net_roles: "dict[str, NetRole] | None" = None
     diagnostics: tuple[Diagnostic, ...] = ()
+    tree: "DesignTree | None" = None
 
 
 @dataclass
@@ -414,6 +419,7 @@ class GcnPrediction(Artifact):
     degraded: bool = False
     degraded_reason: str | None = None
     diagnostics: tuple[Diagnostic, ...] = ()
+    tree: "DesignTree | None" = None
 
 
 @dataclass
@@ -430,6 +436,9 @@ class Post1Result(Artifact):
     degraded: bool = False
     degraded_reason: str | None = None
     diagnostics: tuple[Diagnostic, ...] = ()
+    tree: "DesignTree | None" = None
+    #: Hierarchy-scoped annotation report (``--hier`` runs only).
+    hier: "HierReport | None" = None
 
 
 @dataclass
@@ -446,6 +455,8 @@ class Post2Result(Artifact):
     degraded: bool = False
     degraded_reason: str | None = None
     diagnostics: tuple[Diagnostic, ...] = ()
+    tree: "DesignTree | None" = None
+    hier: "HierReport | None" = None
 
 
 @dataclass
@@ -465,6 +476,7 @@ class AnnotatedDesign(Artifact):
     degraded: bool = False
     degraded_reason: str | None = None
     diagnostics: tuple[Diagnostic, ...] = ()
+    hier: "HierReport | None" = None
 
 
 #: Stage → artifact type produced by it.
@@ -544,6 +556,12 @@ class RunContext:
     #: gcn stage adopts it instead of calling the annotator, so packed
     #: multi-deck forwards slot into the ordinary stage chain.
     gcn_annotation: "Annotation | None" = None
+    #: Hierarchy-scoped annotation (``--hier``): Postprocessing I
+    #: dedupes VF2 across repeated subckt instances via the DesignTree.
+    hier: bool = False
+    #: Build the hierarchy tree from the instance table (implies the
+    #: tree *shape* deviates from the flat path; opt-in).
+    hier_tree: bool = False
     diagnostics: list[Diagnostic] = field(default_factory=list)
     artifacts: dict[StageName, Artifact] = field(default_factory=dict)
     stage_seconds: dict[StageName, float] = field(default_factory=dict)

@@ -15,6 +15,7 @@
 from __future__ import annotations
 
 from repro.datasets.components import GND, VDD, CircuitBuilder, LabeledCircuit
+from repro.spice.netlist import Instance, Netlist
 from repro.datasets.ota import OTA_CLASSES, OtaSpec, generate_ota
 from repro.datasets.rf import (
     RF_EXTENDED_CLASSES,
@@ -167,3 +168,82 @@ def phased_array(n_channels: int = 10, seed: int = 11) -> LabeledCircuit:
         add_inv_amp(b, inp=f"{p}if2", out=f"ifout{c}", prefix=f"{p}c")
 
     return b.finish(class_names=RF_EXTENDED_CLASSES)
+
+
+def phased_array_hier(
+    n_channels: int = 8, seed: int = 11
+) -> tuple[Netlist, dict[str, str]]:
+    """Hierarchical phased-array receiver: one ``channel`` subckt × N.
+
+    The repeated-instance counterpart of :func:`phased_array`: every
+    receiver chain is a *single* subcircuit definition instantiated
+    once per channel, so the hierarchy-scoped annotation path
+    (``--hier``) can match its primitives once and replicate them.
+    Unlike :func:`phased_array`, every channel is sized identically —
+    the body is built once.
+
+    Returns the unflattened :class:`~repro.spice.netlist.Netlist` plus
+    testbench port labels keyed by *flattened* net names.
+    """
+    rng = seeded_rng(("phased-array-hier", seed))
+
+    ch = CircuitBuilder("channel", ports=("ant", "ifout", "ref"))
+    add_lna(
+        ch, rf_in="ant", rf_out="lna_out",
+        topology="inductive_degeneration", stages=3, rng=rng,
+    )
+    add_bpf(ch, inp="lna_out", inn=None, outp="bpf_p", outn="bpf_n")
+    add_oscillator(ch, outp="lo_p", outn="lo_n", topology="lc_cmos", rng=rng)
+    ch.nmos(ch.fresh("minj"), d="lo_p", g="ref", s="lo_n", label="osc")
+    add_vco_buffer(ch, inp="lo_p", out="lob_p", prefix="a")
+    add_vco_buffer(ch, inp="lo_n", out="lob_n", prefix="b")
+    add_vco_buffer(ch, inp="lo_p", out="lobq_p", prefix="c")
+    add_vco_buffer(ch, inp="lo_n", out="lobq_n", prefix="d")
+    # Quadrature downconversion: I and Q double-balanced mixers whose
+    # IF outputs are summed in current mode through a cascoded combiner
+    # (the classic image-reject adder) — one large channel-connected
+    # component spanning both mixer quads.
+    add_mixer(
+        ch, rf_in="bpf_p", lo="lob_p", lo_bar="lob_n", if_out="if0",
+        topology="double_balanced", prefix="i", rng=rng,
+    )
+    add_mixer(
+        ch, rf_in="bpf_n", lo="lobq_p", lo_bar="lobq_n", if_out="q0",
+        topology="double_balanced", prefix="q", rng=rng,
+    )
+    ch.nmos(ch.fresh("mcmb"), d="ifsum", g="cascb", s="if0", label="mixer")
+    ch.nmos(ch.fresh("mcmb"), d="ifsum", g="cascb", s="q0", label="mixer")
+    ch.resistor(ch.fresh("rcmb"), p="ifsum", n=VDD, value=4e3, label="mixer")
+    add_inv_amp(ch, inp="ifsum", out="if1", prefix="a")
+    add_inv_amp(ch, inp="if1", out="if2", prefix="b")
+    add_inv_amp(ch, inp="if2", out="ifout", prefix="c")
+
+    ports = (
+        [f"ant{c}" for c in range(n_channels)]
+        + [f"ifout{c}" for c in range(n_channels)]
+        + [VDD, GND]
+    )
+    top = CircuitBuilder("phased_array_hier", ports=tuple(ports))
+    add_oscillator(
+        top, outp="ref_p", outn="ref_n", topology="lc_cmos", prefix="ref_", rng=rng
+    )
+    for c in range(n_channels):
+        top.circuit.add(
+            Instance(
+                name=f"xch{c}",
+                subckt="channel",
+                nets=(f"ant{c}", f"ifout{c}", "ref_p"),
+            )
+        )
+
+    netlist = Netlist(
+        title="hierarchical phased array", top=top.circuit, globals_=(VDD, GND)
+    )
+    netlist.define(ch.circuit)
+
+    port_labels = {"ref_p": "oscillating", "ref_n": "oscillating"}
+    for c in range(n_channels):
+        port_labels[f"ant{c}"] = "antenna"
+        for net in ("lo_p", "lo_n", "lob_p", "lob_n"):
+            port_labels[f"xch{c}/{net}"] = "oscillating"
+    return netlist, port_labels

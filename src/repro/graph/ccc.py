@@ -119,12 +119,15 @@ def channel_connected_components(graph: CircuitGraph) -> CCCPartition:
     # Passives: join a touching component, else become singletons.
     # Power nets never bind a passive to a component — a load cap to
     # ground must not join whichever component also touches ground.
+    edges_of: dict[int, list] = defaultdict(list)
+    for edge in graph.edges:
+        edges_of[edge.element].append(edge)
     for idx, dev in enumerate(graph.elements):
         if dev.kind.is_transistor:
             continue
         touching: set[int] = set()
-        for edge in graph.edges:
-            if edge.element == idx and edge.net not in power:
+        for edge in edges_of.get(idx, ()):
+            if edge.net not in power:
                 touching |= of_net.get(edge.net, set())
         if touching:
             cid = min(touching)

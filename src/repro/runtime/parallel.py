@@ -169,11 +169,41 @@ def _checkout_pool(
     return pool
 
 
-def _shutdown_quietly(pool: ProcessPoolExecutor, wait: bool) -> None:
+def _shutdown_quietly(
+    pool: ProcessPoolExecutor, wait: bool, join_timeout: float = 10.0
+) -> None:
     """Shut a pool down without letting a broken executor's teardown
-    error escape into the caller's (often already-failing) path."""
+    error escape into the caller's (often already-failing) path.
+
+    The waiting path is bounded: a worker wedged by an unlucky fork
+    (e.g. a child forked while another thread held a lock) stays alive
+    but never drains its call queue, so ``shutdown(wait=True)`` would
+    join the manager thread forever.  Grab the thread/process handles
+    before ``shutdown`` clears them, give the manager ``join_timeout``
+    seconds to drain, then kill the workers and join once more.
+    """
     try:
-        pool.shutdown(wait=wait, cancel_futures=True)
+        if not wait:
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        thread = getattr(pool, "_executor_manager_thread", None)
+        procs = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=False, cancel_futures=True)
+        if thread is None:
+            return
+        thread.join(join_timeout)
+        if thread.is_alive():
+            _LOG.warning(
+                "pool shutdown stalled >%.0fs; killing %d worker(s)",
+                join_timeout,
+                len(procs),
+            )
+            for proc in procs.values():
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+            thread.join(join_timeout)
     except Exception:
         _LOG.debug("pool shutdown raised", exc_info=True)
 

@@ -10,11 +10,26 @@ Naming: a device ``m1`` inside instance ``xota`` becomes ``xota/m1``;
 an internal net ``n1`` becomes ``xota/n1``.  Ports are connected to the
 caller's nets; global nets (``.global`` plus supply/ground by
 convention) keep their names at every depth.
+
+Hierarchy-preserving mode: :func:`flatten_hierarchical` produces the
+same flat circuit *plus* a :class:`DesignTree` — one
+:class:`SubcktDef` per subcircuit definition (with a canonical,
+parameter-resolved, port-ordered content fingerprint, hashed once per
+definition via :func:`definition_fingerprints`) and one
+:class:`InstanceRecord` per elaborated instance (path → definition,
+accumulated multiplier, resolved port bindings).  The tree is what the
+hierarchy-scoped annotation path (:mod:`repro.core.hier_annotate`)
+uses to annotate each unique definition once and replicate the result
+per call site.
 """
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass, field
+
 from repro.exceptions import ElaborationError
+from repro.runtime.cache import Memo
 from repro.spice.netlist import Circuit, Netlist, is_power_net
 
 #: Separator between instance path components in flattened names.
@@ -23,6 +38,133 @@ SEP = "/"
 #: Safety bound on hierarchy depth; analog decks are shallow, so hitting
 #: this means recursive instantiation.
 MAX_DEPTH = 64
+
+
+@dataclass(frozen=True)
+class SubcktDef:
+    """One subcircuit definition plus its canonical content fingerprint.
+
+    The fingerprint is Merkle-style: it covers the definition's port
+    list (in order), every device card (kind, pins, value, model,
+    resolved parameters), and every child instance as ``(name,
+    child-fingerprint, nets, params)`` — so it changes iff the
+    definition's elaborated content can change, and editing one subckt
+    invalidates exactly the definitions that (transitively) contain it.
+    """
+
+    name: str
+    fingerprint: str
+    ports: tuple[str, ...]
+    n_devices: int
+    n_subinstances: int
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """One elaborated subcircuit instance in the flat namespace.
+
+    ``path`` is the flattened instance prefix without the trailing
+    separator (``"xrx0/xlna"``); ``parent`` is the enclosing instance
+    path (``""`` for top-level instances).  ``multiplier`` is the
+    *accumulated* multiplier from the top (every enclosing ``m=``
+    folded in), and ``bindings`` maps each definition port to the net
+    it resolves to in the flat namespace.
+    """
+
+    path: str
+    parent: str
+    definition: str
+    fingerprint: str
+    multiplier: float
+    bindings: tuple[tuple[str, str], ...]
+
+
+@dataclass
+class DesignTree:
+    """Hierarchy sidecar emitted by :func:`flatten_hierarchical`.
+
+    ``definitions`` is keyed by lower-cased subckt name.  ``bodies``
+    holds one standalone elaborated :class:`Circuit` per unique
+    ``(fingerprint, multiplier)`` equivalence group — elaborated with
+    an empty prefix and identity port map, so its device and net names
+    are exactly the flat names of any member instance with the
+    instance-path prefix stripped (ports and globals excepted).
+    """
+
+    top: str
+    globals_: tuple[str, ...] = ()
+    definitions: dict[str, SubcktDef] = field(default_factory=dict)
+    instances: tuple[InstanceRecord, ...] = ()
+    bodies: dict[tuple[str, float], Circuit] = field(default_factory=dict)
+
+    def groups(self) -> dict[tuple[str, float], tuple[str, ...]]:
+        """Instance paths per ``(fingerprint, multiplier)`` group."""
+        out: dict[tuple[str, float], list[str]] = {}
+        for rec in self.instances:
+            out.setdefault((rec.fingerprint, rec.multiplier), []).append(rec.path)
+        return {key: tuple(paths) for key, paths in out.items()}
+
+    def record_for(self, path: str) -> InstanceRecord | None:
+        """The instance record at ``path``, or None."""
+        for rec in self.instances:
+            if rec.path == path:
+                return rec
+        return None
+
+    def n_unique(self) -> int:
+        """Number of unique (definition, multiplier) equivalence groups."""
+        return len({(r.fingerprint, r.multiplier) for r in self.instances})
+
+
+#: Cross-call memo: Netlist object → name-keyed fingerprint dict, so a
+#: deck re-fingerprinted by several pipeline stages hashes its subckt
+#: cards once per process, not once per stage (let alone per instance).
+_DEF_FP_MEMO = Memo()
+
+
+def _compute_definition_fingerprints(netlist: Netlist) -> dict[str, str]:
+    memo: dict[str, str] = {}
+
+    def fp_of(name: str, stack: tuple[str, ...]) -> str:
+        key = name.lower()
+        done = memo.get(key)
+        if done is not None:
+            return done
+        if key in stack:
+            # Recursive instantiation: flatten() rejects it anyway, so
+            # any stable marker is fine; do not memoize the marker.
+            return hashlib.sha256(f"recursive:{key}".encode()).hexdigest()
+        circuit = netlist.subckts.get(key)
+        if circuit is None:
+            digest = hashlib.sha256(f"undefined:{key}".encode()).hexdigest()
+            memo[key] = digest
+            return digest
+        parts = ["ports:" + ",".join(circuit.ports)]
+        for dev in circuit.devices:
+            parts.append(
+                repr((dev.name, dev.kind.value, dev.pins, dev.value, dev.model, dev.params))
+            )
+        for inst in circuit.instances:
+            child_fp = fp_of(inst.subckt, stack + (key,))
+            parts.append(repr(("x", inst.name, child_fp, inst.nets, inst.params)))
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+        memo[key] = digest
+        return digest
+
+    for name in netlist.subckts:
+        fp_of(name, ())
+    return memo
+
+
+def definition_fingerprints(netlist: Netlist) -> dict[str, str]:
+    """Canonical content fingerprint per subckt definition.
+
+    Each ``.subckt`` body is hashed exactly once per netlist — the
+    name-keyed memo inside covers repeated instantiation, and a
+    process-wide identity memo covers repeated calls on the same
+    :class:`Netlist` object.  Keys are lower-cased definition names.
+    """
+    return dict(_DEF_FP_MEMO.get_or_build(netlist, _compute_definition_fingerprints))
 
 
 def _flatten_into(
@@ -35,6 +177,8 @@ def _flatten_into(
     stack: tuple[str, ...],
     multiplier: float = 1.0,
     diagnostics: list | None = None,
+    records: list[InstanceRecord] | None = None,
+    def_fps: dict[str, str] | None = None,
 ) -> None:
     if depth > MAX_DEPTH:
         raise ElaborationError(
@@ -85,6 +229,19 @@ def _flatten_into(
             port: resolve(net) for port, net in zip(child.ports, inst.nets)
         }
         inst_mult = dict(inst.params).get("m", 1.0)
+        if records is not None:
+            records.append(
+                InstanceRecord(
+                    path=f"{prefix}{inst.name}",
+                    parent=prefix[: -len(SEP)] if prefix else "",
+                    definition=inst.subckt.lower(),
+                    fingerprint=(def_fps or {}).get(inst.subckt.lower(), ""),
+                    multiplier=multiplier * inst_mult,
+                    bindings=tuple(
+                        (port, child_map[port]) for port in child.ports
+                    ),
+                )
+            )
         _flatten_into(
             netlist,
             child,
@@ -95,6 +252,8 @@ def _flatten_into(
             stack=stack + (inst.subckt,),
             multiplier=multiplier * inst_mult,
             diagnostics=diagnostics,
+            records=records,
+            def_fps=def_fps,
         )
 
 
@@ -153,6 +312,77 @@ def flatten(netlist: Netlist, diagnostics: list | None = None) -> Circuit:
         diagnostics=diagnostics,
     )
     return out
+
+
+def flatten_hierarchical(
+    netlist: Netlist, diagnostics: list | None = None
+) -> tuple[Circuit, DesignTree]:
+    """Flatten while preserving the design hierarchy as a sidecar.
+
+    Returns the *same* flat :class:`Circuit` that :func:`flatten` would
+    produce (device-for-device, name-for-name) plus a
+    :class:`DesignTree`: fingerprinted subckt definitions, the full
+    instance table, and one standalone elaborated body per unique
+    ``(fingerprint, multiplier)`` group.  Lenient-mode skipped
+    instances are absent from the instance table, matching their
+    absence from the flat circuit.
+    """
+    def_fps = definition_fingerprints(netlist)
+    out = Circuit(name=netlist.top.name, ports=netlist.top.ports)
+    records: list[InstanceRecord] = []
+    _flatten_into(
+        netlist,
+        netlist.top,
+        prefix="",
+        net_map={p: p for p in netlist.top.ports},
+        out=out,
+        depth=0,
+        stack=(),
+        diagnostics=diagnostics,
+        records=records,
+        def_fps=def_fps,
+    )
+    definitions = {
+        key: SubcktDef(
+            name=circuit.name,
+            fingerprint=def_fps.get(key, ""),
+            ports=circuit.ports,
+            n_devices=len(circuit.devices),
+            n_subinstances=len(circuit.instances),
+        )
+        for key, circuit in netlist.subckts.items()
+    }
+    tree = DesignTree(
+        top=netlist.top.name,
+        globals_=netlist.globals_,
+        definitions=definitions,
+        instances=tuple(records),
+    )
+    for rec in records:
+        group = (rec.fingerprint, rec.multiplier)
+        if group in tree.bodies:
+            continue
+        child = netlist.subckts.get(rec.definition)
+        if child is None:
+            continue
+        body = Circuit(name=child.name, ports=child.ports)
+        scratch: list = []
+        try:
+            _flatten_into(
+                netlist,
+                child,
+                prefix="",
+                net_map={p: p for p in child.ports},
+                out=body,
+                depth=0,
+                stack=(child.name,),
+                multiplier=rec.multiplier,
+                diagnostics=scratch,
+            )
+        except ElaborationError:
+            continue  # body unavailable; instances fall back to direct matching
+        tree.bodies[group] = body
+    return out, tree
 
 
 def instance_path(flat_name: str) -> tuple[str, ...]:

@@ -72,3 +72,41 @@ class TestRendering:
         assert d["children"][0]["class"] == "ota"
         assert d["children"][0]["children"][0]["devices"] == ["m1", "m2"]
         assert d["children"][0]["children"][0]["constraints"][0]["kind"] == "symmetry"
+
+
+class TestEnsurePath:
+    def test_creates_nested_chain(self):
+        root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+        leaf = root.ensure_path(("xrx0", "xlna"))
+        assert leaf.name == "xlna"
+        assert leaf.kind is NodeKind.SUBBLOCK
+        assert root.child("xrx0").child("xlna") is leaf
+
+    def test_reuses_existing_nodes(self):
+        root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+        first = root.ensure_path(("xrx0", "xlna"))
+        again = root.ensure_path(("xrx0", "xlna"))
+        assert again is first
+        assert len(root.children) == 1
+        sibling = root.ensure_path(("xrx0", "xmix"))
+        assert sibling is not first
+        assert len(root.child("xrx0").children) == 2
+
+    def test_block_classes_applied_per_joined_path(self):
+        root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+        classes = {"xrx0": "receiver", "xrx0/xlna": "lna"}
+        leaf = root.ensure_path(("xrx0", "xlna"), classes)
+        assert root.child("xrx0").block_class == "receiver"
+        assert leaf.block_class == "lna"
+
+    def test_empty_path_returns_self(self):
+        root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+        assert root.ensure_path(()) is root
+        assert root.children == []
+
+    def test_child_is_shallow(self):
+        root = HierarchyNode(name="sys", kind=NodeKind.SYSTEM)
+        root.ensure_path(("a", "b"))
+        assert root.child("a") is not None
+        assert root.child("b") is None  # depth-2 node: find() sees it
+        assert root.find("b") is not None

@@ -257,6 +257,21 @@ class TestPoolSupervision:
         shutdown_pools()  # must neither raise nor hang on the corpse
         assert not parallel._POOLS
 
+    def test_waiting_shutdown_is_bounded_for_wedged_worker(self):
+        # A worker that is alive but never drains (here: stuck in a
+        # long sleep) must not hang the waiting shutdown forever; the
+        # bounded join kills the workers after ``join_timeout``.
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        future = pool.submit(time.sleep, 600)
+        deadline = time.monotonic() + 10
+        while not future.running() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        start = time.monotonic()
+        parallel._shutdown_quietly(pool, wait=True, join_timeout=1.0)
+        assert time.monotonic() - start < 8
+
     def test_poison_item_is_quarantined_and_siblings_complete(self):
         shutdown_pools()
         parallel.reset_pool_health()

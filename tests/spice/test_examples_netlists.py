@@ -1,0 +1,55 @@
+"""Sweep every deck under ``examples/netlists/`` through both parse
+modes and both elaboration modes.
+
+Keeps the shipped examples honest: each deck must parse strictly
+(clean decks raise nothing), parse leniently with zero diagnostics,
+and elaborate to the same flat circuit whether or not the DesignTree
+sidecar is requested.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.spice.flatten import flatten, flatten_hierarchical
+from repro.spice.parser import parse_netlist
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "netlists"
+DECKS = sorted(EXAMPLES.glob("*.sp"))
+
+
+def test_examples_directory_is_populated():
+    assert len(DECKS) >= 5
+
+
+@pytest.mark.parametrize("deck", DECKS, ids=lambda p: p.stem)
+class TestExampleSweep:
+    def test_strict_parse(self, deck):
+        netlist = parse_netlist(deck.read_text())
+        assert netlist.top is not None
+
+    def test_lenient_parse_is_clean(self, deck):
+        netlist = parse_netlist(deck.read_text(), mode="lenient")
+        assert not netlist.diagnostics
+
+    def test_both_parse_modes_agree(self, deck):
+        text = deck.read_text()
+        strict = flatten(parse_netlist(text))
+        lenient = flatten(parse_netlist(text, mode="lenient"))
+        assert [repr(d) for d in strict.devices] == [
+            repr(d) for d in lenient.devices
+        ]
+
+    def test_both_elaboration_modes_agree(self, deck):
+        netlist = parse_netlist(deck.read_text())
+        plain = flatten(netlist)
+        sided, tree = flatten_hierarchical(netlist)
+        assert [repr(d) for d in sided.devices] == [
+            repr(d) for d in plain.devices
+        ]
+        # every .subckt got a fingerprinted definition entry
+        assert set(tree.definitions) == set(netlist.subckts)
+        for record in tree.instances:
+            assert record.fingerprint

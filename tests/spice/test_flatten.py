@@ -128,3 +128,148 @@ x0 n outer m=3
         deck = ".subckt cell a\nr1 a gnd! 1k\n.ends\nx1 n cell\n.end\n"
         flat = flatten(parse_netlist(deck))
         assert flat.device("x1/r1").value == pytest.approx(1e3)
+
+
+class TestDesignTree:
+    """Hierarchy-preserving mode: same flat circuit + a DesignTree."""
+
+    def _elaborate(self, deck=HIERARCHICAL_DECK):
+        from repro.spice.flatten import flatten_hierarchical
+
+        return flatten_hierarchical(parse_netlist(deck))
+
+    def test_flat_circuit_identical_to_flatten(self):
+        netlist = parse_netlist(HIERARCHICAL_DECK)
+        plain = flatten(netlist)
+        hier_flat, _tree = self._elaborate()
+        assert [d.name for d in hier_flat.devices] == [
+            d.name for d in plain.devices
+        ]
+        assert [d.pins for d in hier_flat.devices] == [
+            d.pins for d in plain.devices
+        ]
+        assert hier_flat.ports == plain.ports
+
+    def test_definitions_fingerprinted(self):
+        _flat, tree = self._elaborate()
+        assert set(tree.definitions) == {"inverter", "buffer"}
+        inv = tree.definitions["inverter"]
+        assert inv.ports == ("in", "out")
+        assert inv.n_devices == 2
+        assert inv.n_subinstances == 0
+        assert len(inv.fingerprint) == 64
+        buf = tree.definitions["buffer"]
+        assert buf.n_subinstances == 2
+        assert buf.fingerprint != inv.fingerprint
+
+    def test_fingerprints_stable_across_parses(self):
+        _f1, t1 = self._elaborate()
+        _f2, t2 = self._elaborate()
+        assert {k: d.fingerprint for k, d in t1.definitions.items()} == {
+            k: d.fingerprint for k, d in t2.definitions.items()
+        }
+
+    def test_fingerprints_sensitive_and_transitive(self):
+        edited = HIERARCHICAL_DECK.replace("w=1u", "w=9u")
+        _f1, base = self._elaborate()
+        _f2, changed = self._elaborate(edited)
+        # Editing the inverter body changes the inverter fingerprint
+        # AND (Merkle-style) the enclosing buffer's.
+        assert (
+            base.definitions["inverter"].fingerprint
+            != changed.definitions["inverter"].fingerprint
+        )
+        assert (
+            base.definitions["buffer"].fingerprint
+            != changed.definitions["buffer"].fingerprint
+        )
+
+    def test_instance_table(self):
+        _flat, tree = self._elaborate()
+        by_path = {rec.path: rec for rec in tree.instances}
+        assert set(by_path) == {"xbuf", "xbuf/x1", "xbuf/x2"}
+        assert by_path["xbuf"].parent == ""
+        assert by_path["xbuf/x1"].parent == "xbuf"
+        assert by_path["xbuf/x1"].definition == "inverter"
+        assert dict(by_path["xbuf/x1"].bindings) == {
+            "in": "a",
+            "out": "xbuf/mid",
+        }
+        assert dict(by_path["xbuf/x2"].bindings) == {
+            "in": "xbuf/mid",
+            "out": "b",
+        }
+
+    def test_bodies_per_unique_group(self):
+        _flat, tree = self._elaborate()
+        groups = tree.groups()
+        inv_fp = tree.definitions["inverter"].fingerprint
+        assert groups[(inv_fp, 1.0)] == ("xbuf/x1", "xbuf/x2")
+        body = tree.bodies[(inv_fp, 1.0)]
+        assert sorted(d.name for d in body.devices) == ["mn", "mp"]
+        assert tree.n_unique() == 2  # inverter + buffer groups
+
+    def test_multiplier_splits_groups(self):
+        deck = """
+.subckt cell a
+r1 a gnd! 1k
+.ends
+x1 n1 cell
+x2 n2 cell m=2
+.end
+"""
+        _flat, tree = self._elaborate(deck)
+        fp = tree.definitions["cell"].fingerprint
+        assert set(tree.groups()) == {(fp, 1.0), (fp, 2.0)}
+        assert tree.bodies[(fp, 2.0)].devices[0].value == 500.0
+
+    def test_lenient_skips_mirror_flat_circuit(self):
+        from repro.spice.flatten import flatten_hierarchical
+
+        deck = HIERARCHICAL_DECK.replace(
+            ".end\n", "xbad z nosuch\n.end\n"
+        )
+        diags: list = []
+        flat, tree = flatten_hierarchical(parse_netlist(deck), diags)
+        assert diags, "the bad instance was diagnosed"
+        assert "xbad" not in {rec.path for rec in tree.instances}
+        assert sorted(d.name for d in flat.devices) == sorted(
+            d.name for d in flatten(parse_netlist(HIERARCHICAL_DECK)).devices
+        )
+
+    def test_record_for(self):
+        _flat, tree = self._elaborate()
+        assert tree.record_for("xbuf/x1").definition == "inverter"
+        assert tree.record_for("nope") is None
+
+
+class TestFingerprintMemo:
+    def test_same_netlist_object_hashed_once(self, monkeypatch):
+        import importlib
+
+        # the package re-exports the flatten() function under the same
+        # name, so fetch the module itself
+        mod = importlib.import_module("repro.spice.flatten")
+
+        calls = {"n": 0}
+        real = mod._compute_definition_fingerprints
+
+        def counting(netlist):
+            calls["n"] += 1
+            return real(netlist)
+
+        monkeypatch.setattr(
+            mod, "_compute_definition_fingerprints", counting
+        )
+        netlist = parse_netlist(HIERARCHICAL_DECK)
+        first = mod.definition_fingerprints(netlist)
+        second = mod.definition_fingerprints(netlist)
+        assert calls["n"] == 1
+        assert first == second
+
+    def test_distinct_objects_rehash(self):
+        from repro.spice.flatten import definition_fingerprints
+
+        a = definition_fingerprints(parse_netlist(HIERARCHICAL_DECK))
+        b = definition_fingerprints(parse_netlist(HIERARCHICAL_DECK))
+        assert a == b  # content equal even across distinct objects
