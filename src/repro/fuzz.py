@@ -1,0 +1,126 @@
+"""``python -m repro.fuzz`` — the generative fuzzing CLI.
+
+Runs a bounded differential-fuzzing campaign
+(:func:`repro.testing.campaign.run_campaign`): seeded random decks
+through every registered oracle, with automatic ddmin shrinking of any
+divergence into a committed-corpus-ready repro.
+
+Examples::
+
+    # 50 decks through every oracle (the acceptance smoke)
+    python -m repro.fuzz --seed 0 --iterations 50
+
+    # parse/matching oracles only, 30-second budget
+    python -m repro.fuzz --oracle parse_modes --oracle indexed_matching \\
+        --time-budget 30 --iterations 10000
+
+    # CI shape: fixed seed, wall-clock bound, write shrunken repros
+    python -m repro.fuzz --seed 0 --iterations 200 --time-budget 60 \\
+        --corpus-dir fuzz-failures
+
+Exit status is 0 when every oracle stayed green, 1 on any divergence —
+the shrunken deck (and a JSON sidecar with the oracle name and
+generation recipe) lands in ``--corpus-dir`` for triage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing across every dual execution path.",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; iteration i fuzzes deck seed+i (default 0)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=50,
+        help="maximum number of decks to generate (default 50)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock bound; the campaign stops at whichever of "
+        "--iterations/--time-budget comes first",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this oracle (repeatable; default: all registered)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="write shrunken divergence repros (.sp + .json sidecar) here",
+    )
+    parser.add_argument(
+        "--stop-on-first",
+        action="store_true",
+        help="end the campaign at the first divergence (after shrinking)",
+    )
+    parser.add_argument(
+        "--list-oracles",
+        action="store_true",
+        help="print the oracle registry and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress lines (the final report still prints)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.testing.campaign import run_campaign
+    from repro.testing.oracles import ORACLES
+
+    if args.list_oracles:
+        width = max(len(n) for n in ORACLES)
+        for name in sorted(ORACLES):
+            oracle = ORACLES[name]
+            tag = " [pipeline]" if oracle.needs_pipeline else ""
+            print(f"{name:<{width}}  {oracle.description}{tag}")
+        return 0
+
+    unknown = [n for n in args.oracle or [] if n not in ORACLES]
+    if unknown:
+        print(
+            f"error: unknown oracle(s): {', '.join(unknown)} "
+            f"(choose from: {', '.join(sorted(ORACLES))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    log = None if args.quiet else lambda msg: print(msg, flush=True)
+    report = run_campaign(
+        base_seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        oracle_names=args.oracle,
+        corpus_dir=args.corpus_dir,
+        stop_on_first=args.stop_on_first,
+        log=log,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

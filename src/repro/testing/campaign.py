@@ -1,0 +1,201 @@
+"""The fuzz loop behind ``python -m repro.fuzz``.
+
+One campaign iterates seeds ``base_seed, base_seed+1, …``: each seed
+generates a deck (cycling through a small set of generator
+configurations so hierarchy, m-factors, ``.include`` splits and
+lenient-mode dirt all appear), runs every selected oracle on it, and
+on the first divergence shrinks the deck with
+:func:`~repro.testing.shrink.shrink_deck` and writes the minimized
+repro into the corpus directory.  The loop is bounded by iterations
+*and* wall-clock, whichever comes first, so a CI smoke job cannot run
+away.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.testing.generator import GenConfig, GeneratedDeck, generate_deck
+from repro.testing.oracles import (
+    ORACLES,
+    DivergenceError,
+    OracleContext,
+)
+from repro.testing.shrink import shrink_deck, write_corpus_entry
+
+#: The configuration rotation: index ``seed % len(_CONFIG_CYCLE)``.
+#: Covers flat decks, deep hierarchy + m-factors, ``.include`` splits,
+#: and lenient-mode dirt.
+_CONFIG_CYCLE: tuple[GenConfig, ...] = (
+    GenConfig(),
+    GenConfig(max_subckts=0, max_blocks=3),
+    GenConfig(max_subckts=2, p_nested=0.6, p_mfactor=0.5),
+    GenConfig(include_split=True),
+    GenConfig(n_dirt=2, max_blocks=2),
+)
+
+
+@dataclass
+class Divergence:
+    """One caught oracle failure, after shrinking."""
+
+    seed: int
+    oracle: str
+    detail: str
+    shrunk_text: str
+    shrunk_lines: int
+    original_lines: int
+    probes: int
+    corpus_path: str | None = None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one campaign."""
+
+    iterations: int = 0
+    oracle_runs: int = 0
+    #: oracle name → times executed.
+    per_oracle: dict[str, int] = field(default_factory=dict)
+    divergences: list[Divergence] = field(default_factory=list)
+    elapsed: float = 0.0
+    stopped_by: str = "iterations"
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.iterations} decks, {self.oracle_runs} oracle runs "
+            f"in {self.elapsed:.1f}s (stopped by {self.stopped_by})"
+        ]
+        for name in sorted(self.per_oracle):
+            lines.append(f"  {name}: {self.per_oracle[name]} runs")
+        if self.divergences:
+            lines.append(f"  DIVERGENCES: {len(self.divergences)}")
+            for d in self.divergences:
+                where = f" -> {d.corpus_path}" if d.corpus_path else ""
+                lines.append(
+                    f"    seed {d.seed} [{d.oracle}] shrunk "
+                    f"{d.original_lines} -> {d.shrunk_lines} lines "
+                    f"({d.probes} probes){where}: {d.detail}"
+                )
+        else:
+            lines.append("  all oracles green")
+        return "\n".join(lines)
+
+
+def _deck_for(seed: int) -> GeneratedDeck:
+    config = _CONFIG_CYCLE[seed % len(_CONFIG_CYCLE)]
+    return generate_deck(seed, config)
+
+
+def run_campaign(
+    base_seed: int = 0,
+    iterations: int = 50,
+    time_budget: float | None = None,
+    oracle_names: list[str] | None = None,
+    corpus_dir: str | None = None,
+    ctx: OracleContext | None = None,
+    stop_on_first: bool = False,
+    log=None,
+) -> FuzzReport:
+    """Run a bounded fuzz campaign; returns the :class:`FuzzReport`.
+
+    ``oracle_names`` defaults to every registered oracle.  When
+    ``corpus_dir`` is given, each shrunken divergence is written there
+    via :func:`~repro.testing.shrink.write_corpus_entry`.
+    ``stop_on_first`` ends the campaign at the first divergence
+    (after shrinking it) instead of continuing to the bound.
+    """
+    names = list(oracle_names or sorted(ORACLES))
+    unknown = [n for n in names if n not in ORACLES]
+    if unknown:
+        raise ValueError(
+            f"unknown oracles {unknown}; registered: {sorted(ORACLES)}"
+        )
+    ctx = ctx or OracleContext(seed=base_seed)
+    report = FuzzReport()
+    start = time.monotonic()
+
+    for i in range(iterations):
+        if time_budget is not None and time.monotonic() - start > time_budget:
+            report.stopped_by = "time-budget"
+            break
+        seed = base_seed + i
+        deck = _deck_for(seed)
+        report.iterations += 1
+        for name in names:
+            oracle = ORACLES[name]
+            report.oracle_runs += 1
+            report.per_oracle[name] = report.per_oracle.get(name, 0) + 1
+            try:
+                oracle.fn(deck, ctx)
+            except DivergenceError as exc:
+                if log:
+                    log(
+                        f"seed {seed}: [{name}] diverged — shrinking "
+                        f"({deck.n_lines} lines)"
+                    )
+                divergence = _handle_divergence(
+                    deck, name, exc, ctx, corpus_dir
+                )
+                report.divergences.append(divergence)
+                if stop_on_first:
+                    report.stopped_by = "divergence"
+                    report.elapsed = time.monotonic() - start
+                    return report
+        if log and (i + 1) % 10 == 0:
+            log(f"{i + 1}/{iterations} decks fuzzed, all green")
+
+    report.elapsed = time.monotonic() - start
+    return report
+
+
+def _handle_divergence(
+    deck: GeneratedDeck,
+    oracle_name: str,
+    exc: DivergenceError,
+    ctx: OracleContext,
+    corpus_dir: str | None,
+) -> Divergence:
+    oracle = ORACLES[oracle_name]
+
+    def predicate(text: str) -> None:
+        candidate = GeneratedDeck(
+            text=text, recipe=deck.recipe, mode=deck.mode, files={}
+        )
+        oracle.fn(candidate, ctx)
+
+    try:
+        shrunk = shrink_deck(deck.text, predicate)
+        shrunk_text, shrunk_lines = shrunk.text, shrunk.shrunk_lines
+        original_lines, probes = shrunk.original_lines, shrunk.probes
+    except ValueError:
+        # The divergence does not reproduce from the joined text alone
+        # (e.g. it needs the .include file split); keep the deck as-is.
+        shrunk_text, shrunk_lines = deck.text, deck.n_lines
+        original_lines, probes = deck.n_lines, 1
+    divergence = Divergence(
+        seed=deck.seed,
+        oracle=oracle_name,
+        detail=exc.detail,
+        shrunk_text=shrunk_text,
+        shrunk_lines=shrunk_lines,
+        original_lines=original_lines,
+        probes=probes,
+    )
+    if corpus_dir:
+        path = write_corpus_entry(
+            corpus_dir,
+            f"shrunk_seed{deck.seed}_{oracle_name}",
+            shrunk_text,
+            oracle=oracle_name,
+            mode=deck.mode,
+            detail=exc.detail,
+            recipe=deck.recipe,
+        )
+        divergence.corpus_path = str(path)
+    return divergence

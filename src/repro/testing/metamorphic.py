@@ -1,0 +1,586 @@
+"""Metamorphic deck transforms with declared invariants.
+
+Each transform rewrites a deck into a variant whose annotation is
+related to the original's in a *declared* way — the invariant is part
+of the transform's contract, and :func:`check_invariant` is the
+executable form of that contract:
+
+========================  =============================================
+transform                 invariant
+========================  =============================================
+rename_devices            ``UP_TO_RENAME`` — per-device classes,
+                          primitive matches and constraints identical
+                          modulo the rename map
+rename_nets               ``UP_TO_RENAME`` (net side of the map)
+insert_unit_mfactor       ``BYTE_IDENTICAL`` — ``m=1`` on an instance
+                          is a no-op through flattening
+permute_cards             ``SAME_STRUCTURE`` — flat device multiset
+                          and CCC partition unchanged (annotation may
+                          legitimately differ in float-tie ordering)
+split_mfactor             ``SAME_NETS`` — net set and rail roles
+                          unchanged; device count grows by the split
+inline_first_instance     ``SAME_STRUCTURE`` modulo the rename map —
+                          manual flattening of one leaf instance
+outline_tail_devices      ``SAME_STRUCTURE`` modulo the rename map —
+                          wrap trailing top-level devices into a fresh
+                          single-instance subckt
+========================  =============================================
+
+Order preservation is load-bearing for ``UP_TO_RENAME``: the GCN
+forward is bitwise-deterministic only for a fixed vertex order, so the
+rename transforms never reorder cards, and rename maps are
+role-preserving — power/bias/input-ish net names are never touched,
+and fresh names are chosen outside every role convention — so vertex
+features are unchanged as well.  Inline/outline *do* preserve flat
+device order, but the feature extractor deliberately encodes hierarchy
+depth (``features.py``'s level slot), so moving a device across a
+``.subckt`` boundary legitimately changes its features; those two
+transforms therefore only claim structural equivalence (flat device
+multiset + CCC partition, compared through the rename map).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.ccc import channel_connected_components
+from repro.graph.bipartite import CircuitGraph
+from repro.spice.flatten import SEP, flatten
+from repro.spice.netlist import is_power_net
+from repro.spice.parser import parse_netlist
+from repro.spice.writer import write_netlist
+
+#: Net-name prefixes with a conventional role anywhere in the repo
+#: (bias distribution, input/output ports, clocks, rails).  A rename is
+#: role-preserving iff neither endpoint matches any of these.
+_ROLE_PREFIXES = (
+    "vb", "bias", "ib", "vbn", "vbp", "vref", "iref", "vcm",
+    "vin", "inp", "inn", "in", "rfin", "ant", "lo", "clk", "vi",
+    "vout", "out", "outp", "outn", "ifout", "vo",
+)
+
+
+def _has_role(name: str) -> bool:
+    leaf = name.split(SEP)[-1]
+    return is_power_net(name) or any(leaf.startswith(p) for p in _ROLE_PREFIXES)
+
+
+class Invariant(enum.Enum):
+    """How a transformed deck's annotation relates to the original's."""
+
+    BYTE_IDENTICAL = "byte-identical"
+    UP_TO_RENAME = "up-to-rename"
+    SAME_STRUCTURE = "same-structure"
+    SAME_NETS = "same-nets"
+
+
+@dataclass
+class TransformedDeck:
+    """A transform's output: new deck text + the declared relation."""
+
+    transform: str
+    text: str
+    invariant: Invariant
+    #: Original flat device name → transformed flat device name (only
+    #: names that changed).  Identity for unlisted names.
+    device_map: dict[str, str] = field(default_factory=dict)
+    #: Original flat net name → transformed flat net name.
+    net_map: dict[str, str] = field(default_factory=dict)
+    #: True when the transform had nothing to do (deck returned as-is).
+    noop: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Transforms
+# ---------------------------------------------------------------------------
+
+
+def rename_devices(text: str, rng: random.Random) -> TransformedDeck:
+    """Append one uniform suffix to every top-level device name.
+
+    Uniform-suffix is deliberate: preprocess picks parallel/series
+    merge representatives by *shortlex* name order
+    (``min(members, key=lambda d: (len(d.name), d.name))``), and
+    appending the same suffix to every name is exactly the rename
+    family that preserves shortlex order (lengths all grow by the same
+    amount; equal-length comparisons reduce to the original names).
+    A per-device random rename would legitimately flip which member
+    survives a merge — a different result, not a divergence.
+    """
+    netlist = parse_netlist(text)
+    # Single-char suffixes only: a top-level device can merge with an
+    # instance-internal one (flat name ``x…/…``, ≥ 5 chars), and the
+    # renamed top name must stay shortlex-smaller than that.
+    suffix = rng.choice(("q", "z", "v"))
+    device_map = {
+        dev.name: f"{dev.name}{suffix}" for dev in netlist.top.devices
+    }
+    netlist.top.devices = [
+        dev.renamed(device_map[dev.name], {}) for dev in netlist.top.devices
+    ]
+    return TransformedDeck(
+        transform="rename_devices",
+        text=write_netlist(netlist),
+        invariant=Invariant.UP_TO_RENAME,
+        device_map=device_map,
+        noop=not device_map,
+    )
+
+
+def rename_nets(text: str, rng: random.Random) -> TransformedDeck:
+    """Rename role-free top-level nets to fresh role-free names."""
+    netlist = parse_netlist(text)
+    candidates = [
+        net
+        for net in netlist.top.nets
+        if not _has_role(net) and net not in netlist.globals_
+    ]
+    net_map = {
+        net: f"ren{i}"
+        for i, net in enumerate(candidates)
+        if rng.random() < 0.5
+    }
+    netlist.top.devices = [
+        dev.renamed(dev.name, net_map) for dev in netlist.top.devices
+    ]
+    netlist.top.instances = [
+        inst.renamed(inst.name, net_map) for inst in netlist.top.instances
+    ]
+    return TransformedDeck(
+        transform="rename_nets",
+        text=write_netlist(netlist),
+        invariant=Invariant.UP_TO_RENAME,
+        net_map=net_map,
+        noop=not net_map,
+    )
+
+
+def insert_unit_mfactor(text: str, rng: random.Random) -> TransformedDeck:
+    """Add an explicit ``m=1`` to instances lacking an m-factor."""
+    netlist = parse_netlist(text)
+    changed = False
+    out = []
+    for inst in netlist.top.instances:
+        if "m" not in {k for k, _ in inst.params} and rng.random() < 0.7:
+            from dataclasses import replace
+
+            out.append(replace(inst, params=inst.params + (("m", 1.0),)))
+            changed = True
+        else:
+            out.append(inst)
+    netlist.top.instances = out
+    return TransformedDeck(
+        transform="insert_unit_mfactor",
+        text=write_netlist(netlist),
+        invariant=Invariant.BYTE_IDENTICAL,
+        noop=not changed,
+    )
+
+
+def permute_cards(text: str, rng: random.Random) -> TransformedDeck:
+    """Shuffle top-level device and instance card order."""
+    netlist = parse_netlist(text)
+    devices = list(netlist.top.devices)
+    instances = list(netlist.top.instances)
+    rng.shuffle(devices)
+    rng.shuffle(instances)
+    noop = (
+        devices == netlist.top.devices and instances == netlist.top.instances
+    )
+    netlist.top.devices = devices
+    netlist.top.instances = instances
+    return TransformedDeck(
+        transform="permute_cards",
+        text=write_netlist(netlist),
+        invariant=Invariant.SAME_STRUCTURE,
+        noop=noop,
+    )
+
+
+def split_mfactor(text: str, rng: random.Random) -> TransformedDeck:
+    """Replace one ``m=k`` instance (integer k ≥ 2) with k unit copies."""
+    from dataclasses import replace
+
+    netlist = parse_netlist(text)
+    splittable = [
+        (i, inst)
+        for i, inst in enumerate(netlist.top.instances)
+        if float(dict(inst.params).get("m", 1.0)).is_integer()
+        and dict(inst.params).get("m", 1.0) >= 2
+    ]
+    if not splittable:
+        return TransformedDeck(
+            transform="split_mfactor",
+            text=text,
+            invariant=Invariant.SAME_NETS,
+            noop=True,
+        )
+    index, inst = rng.choice(splittable)
+    k = int(dict(inst.params)["m"])
+    rest = tuple((p, v) for p, v in inst.params if p != "m")
+    copies = [
+        replace(inst, name=f"{inst.name}_s{j}", params=rest) for j in range(k)
+    ]
+    netlist.top.instances = (
+        netlist.top.instances[:index]
+        + copies
+        + netlist.top.instances[index + 1 :]
+    )
+    return TransformedDeck(
+        transform="split_mfactor",
+        text=write_netlist(netlist),
+        invariant=Invariant.SAME_NETS,
+    )
+
+
+def inline_first_instance(text: str, rng: random.Random) -> TransformedDeck:
+    """Manually flatten the first top-level instance of a leaf subckt.
+
+    The inlined cards are appended after every existing top-level
+    device card — exactly where :func:`repro.spice.flatten.flatten`
+    would have emitted them (top devices first, then instances in
+    order) — so the flat circuit is identical up to the
+    ``x<inst>/name`` → ``x<inst>_name`` rename.  Annotation identity is
+    *not* claimed: the feature extractor encodes hierarchy depth, which
+    this transform changes by construction.
+    """
+    netlist = parse_netlist(text)
+    target = None
+    if netlist.top.instances:
+        first = netlist.top.instances[0]
+        body = netlist.subckts.get(first.subckt)
+        if body is not None and not body.instances and len(body.ports) == len(first.nets):
+            if float(dict(first.params).get("m", 1.0)) == 1.0:
+                target = (first, body)
+    if target is None:
+        return TransformedDeck(
+            transform="inline_first_instance",
+            text=text,
+            invariant=Invariant.SAME_STRUCTURE,
+            noop=True,
+        )
+    inst, body = target
+    port_map = dict(zip(body.ports, inst.nets))
+    device_map: dict[str, str] = {}
+    net_map: dict[str, str] = {}
+    inlined = []
+    for dev in body.devices:
+        local: dict[str, str] = {}
+        for net in dev.nets:
+            if net in port_map:
+                local[net] = port_map[net]
+            elif net in netlist.globals_ or is_power_net(net):
+                local[net] = net
+            else:
+                local[net] = f"{inst.name}_{net}"
+                net_map[f"{inst.name}{SEP}{net}"] = local[net]
+        # The writer prefixes the card letter when a name does not lead
+        # with it (repro.spice.writer._card_name); pre-apply the same
+        # rule so the map matches what the re-parsed deck will contain.
+        candidate = f"{inst.name}_{dev.name}"
+        letter = dev.name[0]
+        new_name = (
+            candidate if candidate.startswith(letter) else f"{letter}{candidate}"
+        )
+        device_map[f"{inst.name}{SEP}{dev.name}"] = new_name
+        inlined.append(dev.renamed(new_name, local))
+    netlist.top.devices = netlist.top.devices + inlined
+    netlist.top.instances = netlist.top.instances[1:]
+    return TransformedDeck(
+        transform="inline_first_instance",
+        text=write_netlist(netlist),
+        invariant=Invariant.SAME_STRUCTURE,
+        device_map=device_map,
+        net_map=net_map,
+    )
+
+
+def outline_tail_devices(text: str, rng: random.Random) -> TransformedDeck:
+    """Wrap the trailing top-level devices into a one-shot subckt.
+
+    The new instance is inserted *first* in the instance list, so the
+    flat device order — remaining top devices, then the wrapped block,
+    then the original instances — matches the original deck exactly.
+    """
+    netlist = parse_netlist(text)
+    devices = netlist.top.devices
+    if len(devices) < 2:
+        return TransformedDeck(
+            transform="outline_tail_devices",
+            text=text,
+            invariant=Invariant.SAME_STRUCTURE,
+            noop=True,
+        )
+    n_wrap = rng.randint(1, max(1, len(devices) // 2))
+    wrapped, kept = devices[-n_wrap:], devices[:-n_wrap]
+    wrapped_nets: set[str] = set()
+    for dev in wrapped:
+        wrapped_nets.update(dev.nets)
+    outside_nets: set[str] = set()
+    for dev in kept:
+        outside_nets.update(dev.nets)
+    for inst in netlist.top.instances:
+        outside_nets.update(inst.nets)
+    shared = sorted(
+        net
+        for net in wrapped_nets
+        if net in outside_nets
+        and not is_power_net(net)
+        and net not in netlist.globals_
+    )
+    internal = sorted(
+        net
+        for net in wrapped_nets
+        if net not in outside_nets
+        and not is_power_net(net)
+        and net not in netlist.globals_
+    )
+    sub_name = "outlined"
+    while sub_name in netlist.subckts:
+        sub_name += "x"
+    inst_name = "xoutl"
+    from repro.spice.netlist import Circuit, Instance
+
+    body = Circuit(name=sub_name, ports=tuple(shared))
+    device_map: dict[str, str] = {}
+    net_map: dict[str, str] = {}
+    for dev in wrapped:
+        body.add(dev)
+        device_map[dev.name] = f"{inst_name}{SEP}{dev.name}"
+    for net in internal:
+        net_map[net] = f"{inst_name}{SEP}{net}"
+    netlist.subckts[sub_name] = body
+    netlist.top.devices = kept
+    netlist.top.instances = [
+        Instance(name=inst_name, subckt=sub_name, nets=tuple(shared))
+    ] + netlist.top.instances
+    return TransformedDeck(
+        transform="outline_tail_devices",
+        text=write_netlist(netlist),
+        invariant=Invariant.SAME_STRUCTURE,
+        device_map=device_map,
+        net_map=net_map,
+    )
+
+
+#: The transform registry, in a stable order (the campaign indexes it).
+TRANSFORMS = {
+    fn.__name__: fn
+    for fn in (
+        rename_devices,
+        rename_nets,
+        insert_unit_mfactor,
+        permute_cards,
+        split_mfactor,
+        inline_first_instance,
+        outline_tail_devices,
+    )
+}
+
+
+def apply_transform(
+    name: str, text: str, rng: random.Random
+) -> TransformedDeck:
+    return TRANSFORMS[name](text, rng)
+
+
+# ---------------------------------------------------------------------------
+# Invariant checking
+# ---------------------------------------------------------------------------
+
+
+class InvariantViolation(AssertionError):
+    """A metamorphic invariant did not hold."""
+
+
+def _flat_graph(text: str) -> CircuitGraph:
+    return CircuitGraph.from_circuit(flatten(parse_netlist(text)))
+
+
+def _mapped(name: str, mapping: dict[str, str]) -> str:
+    return mapping.get(name, name)
+
+
+def _match_summary(result, device_map):
+    """Primitive matches as an order-free comparable set."""
+    out = set()
+    for matches in result.post1.ccc_matches.values():
+        for m in matches:
+            out.add(
+                (m.primitive, frozenset(_mapped(e, device_map) for e in m.elements))
+            )
+    for _cid, m in result.post1.standalone:
+        out.add(
+            (m.primitive, frozenset(_mapped(e, device_map) for e in m.elements))
+        )
+    return out
+
+
+def _constraint_summary(result, device_map):
+    return sorted(
+        (c.kind.value, tuple(sorted(_mapped(m, device_map) for m in c.members)))
+        for c in result.constraints
+    )
+
+
+def check_invariant(
+    original_result,
+    transformed_result,
+    transformed: TransformedDeck,
+    original_text: str | None = None,
+) -> None:
+    """Assert the declared invariant between two pipeline results.
+
+    ``original_result``/``transformed_result`` are
+    :class:`~repro.core.pipeline.PipelineResult` objects for
+    annotation-level invariants; for :attr:`Invariant.SAME_STRUCTURE`
+    and :attr:`Invariant.SAME_NETS` they may be ``None`` and the check
+    runs at the parse/flatten level on ``original_text`` /
+    ``transformed.text``.  Raises :class:`InvariantViolation` with a
+    description of the first difference.
+    """
+    invariant = transformed.invariant
+    if invariant is Invariant.BYTE_IDENTICAL:
+        from repro.core.stages import pipeline_result_fingerprint
+
+        got = pipeline_result_fingerprint(transformed_result)
+        want = pipeline_result_fingerprint(original_result)
+        if got != want:
+            raise InvariantViolation(
+                f"{transformed.transform}: result fingerprint changed "
+                f"({want[:12]} -> {got[:12]})"
+            )
+        return
+    if invariant is Invariant.UP_TO_RENAME:
+        dmap, nmap = transformed.device_map, transformed.net_map
+        want = {
+            _mapped(k, dmap): v
+            for k, v in original_result.annotation.element_classes.items()
+        }
+        got = transformed_result.annotation.element_classes
+        if got != want:
+            diff = {
+                k: (want.get(k), got.get(k))
+                for k in set(want) | set(got)
+                if want.get(k) != got.get(k)
+            }
+            raise InvariantViolation(
+                f"{transformed.transform}: element classes changed under "
+                f"rename: {diff}"
+            )
+        want_nets = {
+            _mapped(k, nmap): v
+            for k, v in original_result.annotation.net_classes.items()
+        }
+        got_nets = transformed_result.annotation.net_classes
+        if got_nets != want_nets:
+            diff = {
+                k: (want_nets.get(k), got_nets.get(k))
+                for k in set(want_nets) | set(got_nets)
+                if want_nets.get(k) != got_nets.get(k)
+            }
+            raise InvariantViolation(
+                f"{transformed.transform}: net classes changed under "
+                f"rename: {diff}"
+            )
+        if _match_summary(transformed_result, {}) != _match_summary(
+            original_result, dmap
+        ):
+            raise InvariantViolation(
+                f"{transformed.transform}: primitive matches changed under rename"
+            )
+        if _constraint_summary(transformed_result, {}) != _constraint_summary(
+            original_result, dmap
+        ):
+            raise InvariantViolation(
+                f"{transformed.transform}: constraints changed under rename"
+            )
+        if transformed_result.degraded != original_result.degraded:
+            raise InvariantViolation(
+                f"{transformed.transform}: degradation flag flipped"
+            )
+        return
+    if invariant is Invariant.SAME_STRUCTURE:
+        dmap, nmap = transformed.device_map, transformed.net_map
+
+        def canon(dev, device_map, net_map):
+            return (
+                _mapped(dev.name, device_map),
+                dev.kind,
+                tuple(
+                    (term, _mapped(net, net_map)) for term, net in dev.pins
+                ),
+                dev.value,
+                dev.model,
+                dev.params,
+            )
+
+        a = _flat_graph(original_text)
+        b = _flat_graph(transformed.text)
+        want = sorted(str(canon(d, dmap, nmap)) for d in a.elements)
+        got = sorted(str(canon(d, {}, {})) for d in b.elements)
+        if want != got:
+            diff = set(want) ^ set(got)
+            raise InvariantViolation(
+                f"{transformed.transform}: flat device multiset changed "
+                f"modulo rename: {sorted(diff)[:4]}"
+            )
+        # Transistor partition only: passives tie-break toward the
+        # lowest component *id*, which depends on element order — a
+        # permutation can legitimately move a two-CCC-bridging passive.
+        pa = {
+            comp_t
+            for comp in channel_connected_components(a).components
+            if (
+                comp_t := frozenset(
+                    _mapped(a.elements[i].name, dmap)
+                    for i in comp
+                    if a.elements[i].kind.is_transistor
+                )
+            )
+        }
+        pb = {
+            comp_t
+            for comp in channel_connected_components(b).components
+            if (
+                comp_t := frozenset(
+                    b.elements[i].name
+                    for i in comp
+                    if b.elements[i].kind.is_transistor
+                )
+            )
+        }
+        if pa != pb:
+            raise InvariantViolation(
+                f"{transformed.transform}: transistor CCC partition changed"
+            )
+        return
+    if invariant is Invariant.SAME_NETS:
+        a = flatten(parse_netlist(original_text))
+        b = flatten(parse_netlist(transformed.text))
+        nets_a = set(a.nets)
+        nets_b = set(b.nets)
+        # Splitting renames the split instance's internal nets; compare
+        # the *shared* namespace (nets visible outside any instance).
+        outside_a = {n for n in nets_a if SEP not in n}
+        outside_b = {n for n in nets_b if SEP not in n}
+        if outside_a != outside_b:
+            raise InvariantViolation(
+                f"{transformed.transform}: top-level net set changed: "
+                f"{sorted(outside_a ^ outside_b)}"
+            )
+        roles_a = {n: is_power_net(n) for n in outside_a}
+        roles_b = {n: is_power_net(n) for n in outside_b}
+        if roles_a != roles_b:
+            raise InvariantViolation(
+                f"{transformed.transform}: rail classification changed"
+            )
+        if len(b.devices) < len(a.devices):
+            raise InvariantViolation(
+                f"{transformed.transform}: device count shrank "
+                f"({len(a.devices)} -> {len(b.devices)})"
+            )
+        return
+    raise ValueError(f"unknown invariant {invariant!r}")

@@ -1,0 +1,157 @@
+"""Delta-debugging deck minimizer.
+
+When an oracle raises :class:`~repro.testing.oracles.DivergenceError`
+on a generated deck, the deck is rarely a good bug report: most of its
+lines are irrelevant to the divergence.  :func:`shrink_deck` runs the
+classic ddmin algorithm over the deck's *lines*, keeping a candidate
+only when the oracle still raises a ``DivergenceError`` on it (any
+other exception means the candidate broke for an unrelated reason —
+a malformed deck is not a repro), then finishes with a greedy
+single-line elimination pass.  The result is a locally 1-minimal
+failing deck: removing any single remaining line makes the divergence
+disappear.
+
+:func:`write_corpus_entry` persists a shrunken deck plus a JSON
+sidecar (oracle name, divergence message, generation recipe) into a
+corpus directory; ``tests/fuzz/test_corpus.py`` replays every entry as
+an ordinary pytest case, so each fuzz find becomes a permanent
+regression test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one :func:`shrink_deck` call."""
+
+    text: str
+    #: Oracle/predicate evaluations spent (a cost/progress metric).
+    probes: int = 0
+    #: Line counts before/after.
+    original_lines: int = 0
+    shrunk_lines: int = 0
+    trace: list[str] = field(default_factory=list)
+
+    @property
+    def reduction(self) -> float:
+        if not self.original_lines:
+            return 0.0
+        return 1.0 - self.shrunk_lines / self.original_lines
+
+
+def _still_fails(
+    predicate: Callable[[str], None], text: str, result: ShrinkResult
+) -> bool:
+    """True iff ``predicate`` raises DivergenceError on ``text``."""
+    from repro.testing.oracles import DivergenceError
+
+    result.probes += 1
+    try:
+        predicate(text)
+    except DivergenceError:
+        return True
+    except Exception:
+        # A different failure (parse error, pipeline crash …) is not
+        # the divergence we are minimizing; treat as "does not fail".
+        return False
+    return False
+
+
+def shrink_deck(
+    text: str,
+    predicate: Callable[[str], None],
+    max_probes: int = 2000,
+) -> ShrinkResult:
+    """Minimize a failing deck with ddmin over its lines.
+
+    ``predicate`` runs the failing oracle on a candidate deck text; a
+    raised :class:`~repro.testing.oracles.DivergenceError` marks the
+    candidate as still-failing.  ``max_probes`` bounds total predicate
+    evaluations (the current best deck is returned on exhaustion).
+    """
+    lines = text.splitlines()
+    result = ShrinkResult(
+        text=text, original_lines=len(lines), shrunk_lines=len(lines)
+    )
+    if not _still_fails(predicate, text, result):
+        raise ValueError("input deck does not fail the predicate")
+
+    def join(parts: list[str]) -> str:
+        return "\n".join(parts) + "\n"
+
+    # Classic ddmin: try removing chunks at granularity n, doubling
+    # granularity when nothing at the current level can be removed.
+    n = 2
+    while len(lines) >= 2 and result.probes < max_probes:
+        chunk = max(1, len(lines) // n)
+        removed_any = False
+        start = 0
+        while start < len(lines) and result.probes < max_probes:
+            candidate = lines[:start] + lines[start + chunk :]
+            if candidate and _still_fails(predicate, join(candidate), result):
+                result.trace.append(
+                    f"ddmin: dropped lines [{start}:{start + chunk}) "
+                    f"({len(lines)} -> {len(candidate)})"
+                )
+                lines = candidate
+                n = max(n - 1, 2)
+                removed_any = True
+            else:
+                start += chunk
+        if not removed_any:
+            if n >= len(lines):
+                break
+            n = min(len(lines), n * 2)
+
+    # Greedy 1-minimal pass: every surviving line is load-bearing.
+    i = 0
+    while i < len(lines) and result.probes < max_probes:
+        candidate = lines[:i] + lines[i + 1 :]
+        if candidate and _still_fails(predicate, join(candidate), result):
+            result.trace.append(f"1-minimal: dropped line {i!r}: {lines[i]}")
+            lines = candidate
+        else:
+            i += 1
+
+    result.text = join(lines)
+    result.shrunk_lines = len(lines)
+    return result
+
+
+def write_corpus_entry(
+    corpus_dir: str | Path,
+    name: str,
+    text: str,
+    *,
+    oracle: str,
+    mode: str = "strict",
+    detail: str = "",
+    recipe: dict | None = None,
+) -> Path:
+    """Write ``<name>.sp`` + ``<name>.json`` into the corpus directory.
+
+    Returns the path of the deck file.  The JSON sidecar carries
+    everything the replay test needs: which oracle diverged, the parse
+    mode the deck requires, the divergence message at capture time, and
+    (when the deck came from the generator) the reproduction recipe.
+    """
+    corpus = Path(corpus_dir)
+    corpus.mkdir(parents=True, exist_ok=True)
+    deck_path = corpus / f"{name}.sp"
+    deck_path.write_text(text)
+    sidecar = {
+        "oracle": oracle,
+        "mode": mode,
+        "detail": detail,
+        "recipe": recipe,
+    }
+    (corpus / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
+    return deck_path

@@ -1,15 +1,39 @@
-"""Shared fixtures: canonical decks, graphs, and a session-scoped
-quick-trained annotator (so expensive training happens once)."""
+"""Shared fixtures: canonical decks, graphs, the example-netlist
+corpus, and a session-scoped quick-trained annotator (so expensive
+training happens once)."""
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.graph.bipartite import CircuitGraph
 from repro.spice.flatten import flatten
 from repro.spice.parser import parse_netlist
+
+#: The shipped example decks, shared by every sweep that used to glob
+#: this directory itself (spice/core/primitives test modules).
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples" / "netlists"
+EXAMPLE_DECK_PATHS = tuple(sorted(EXAMPLES_DIR.glob("*.sp")))
+
+
+def example_deck_id(path: Path) -> str:
+    return path.stem
+
+
+@pytest.fixture(params=EXAMPLE_DECK_PATHS, ids=example_deck_id)
+def example_deck_path(request) -> Path:
+    """One shipped example deck path (parametrized over all of them)."""
+    return request.param
+
+
+@pytest.fixture(params=["strict", "lenient"])
+def parse_mode(request) -> str:
+    """Both parser modes — combine with ``example_deck_path`` for the
+    deck × mode product."""
+    return request.param
 
 
 @pytest.fixture(autouse=True)
@@ -91,6 +115,55 @@ def diff_ota_graph() -> CircuitGraph:
 @pytest.fixture()
 def current_mirror_graph() -> CircuitGraph:
     return CircuitGraph.from_circuit(flatten(parse_netlist(CURRENT_MIRROR_DECK)))
+
+
+#: Stable names for the canonical graph cases — safe to use in
+#: ``@pytest.mark.parametrize`` at collect time (building the graphs
+#: themselves is deferred to the session fixture below).
+CANONICAL_GRAPH_NAMES = (
+    "diff_ota",
+    "current_mirror",
+    "hierarchical",
+    "switched_cap_filter",
+    "sample_and_hold",
+    "phased_array_2ch",
+)
+
+
+def build_canonical_graphs() -> dict[str, CircuitGraph]:
+    """The canonical CircuitGraph menagerie: the three paper decks plus
+    the three generated system benchmarks."""
+    from repro.datasets.systems import (
+        phased_array,
+        sample_and_hold,
+        switched_cap_filter,
+    )
+
+    return {
+        "diff_ota": CircuitGraph.from_circuit(
+            flatten(parse_netlist(DIFF_OTA_DECK))
+        ),
+        "current_mirror": CircuitGraph.from_circuit(
+            flatten(parse_netlist(CURRENT_MIRROR_DECK))
+        ),
+        "hierarchical": CircuitGraph.from_circuit(
+            flatten(parse_netlist(HIERARCHICAL_DECK))
+        ),
+        "switched_cap_filter": CircuitGraph.from_circuit(
+            switched_cap_filter().circuit
+        ),
+        "sample_and_hold": CircuitGraph.from_circuit(
+            sample_and_hold().circuit
+        ),
+        "phased_array_2ch": CircuitGraph.from_circuit(
+            phased_array(n_channels=2).circuit
+        ),
+    }
+
+
+@pytest.fixture(scope="session")
+def canonical_graphs() -> dict[str, CircuitGraph]:
+    return build_canonical_graphs()
 
 
 @pytest.fixture(scope="session")

@@ -10,8 +10,6 @@ instance-table hierarchy mode.
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -100,21 +98,13 @@ class TestGoldenIdentity:
         assert hier.diagnostics
 
 
-EXAMPLE_DECKS = sorted(
-    (Path(__file__).resolve().parents[2] / "examples" / "netlists").glob(
-        "*.sp"
-    )
-)
-
-
 class TestExampleNetlistIdentity:
     """Acceptance: hier ≡ flat on every deck under examples/netlists/."""
 
-    @pytest.mark.parametrize("deck", EXAMPLE_DECKS, ids=lambda p: p.stem)
-    def test_example_deck(self, ota_pipeline, deck):
-        text = deck.read_text()
-        hier = ota_pipeline.run(text, name=deck.stem, hier=True)
-        flat = ota_pipeline.run(text, name=deck.stem)
+    def test_example_deck(self, ota_pipeline, example_deck_path):
+        text = example_deck_path.read_text()
+        hier = ota_pipeline.run(text, name=example_deck_path.stem, hier=True)
+        flat = ota_pipeline.run(text, name=example_deck_path.stem)
         _assert_results_equivalent(hier, flat)
 
 
@@ -271,6 +261,7 @@ def _mirror_cell_deck(n_instances: int, widths: tuple[int, ...], shared: bool):
     return "\n".join(lines) + "\n"
 
 
+@pytest.mark.property
 class TestPropertyIdentity:
     """Property: hier ≡ flat on random small hierarchical decks."""
 

@@ -1,0 +1,5 @@
+* fuzz deck seed=3
+.global vdd! gnd!
+m0 n0 vb0 n1 gnd! nmos
+m1 n2 n3 gnd! gnd! nmos w=2u l=100n
+.end

@@ -1,0 +1,8 @@
+* fuzz deck seed=0
+.global vdd! gnd!
+m0 n0 n1 n1 vdd! pmos
+m1 n0 n2 n1 vdd! pmos
+m2 n3 vb0 n4 gnd! nmos
+c0 n0 n5 10p
+m3 n5 n5 gnd! gnd! nmos w=2u l=100n
+.end

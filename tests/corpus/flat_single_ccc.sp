@@ -1,0 +1,7 @@
+* fuzz deck seed=5
+.global vdd! gnd!
+m0 gnd! n0 n1 gnd! nmos
+m1 gnd! n0 n1 vdd! pmos
+l0 n2 n1 1n
+c0 n2 n1 1p
+.end

@@ -1,0 +1,14 @@
+* fuzz deck seed=0
+.global vdd! gnd!
+.subckt cell0 sn0 sn1
+m0 sn0 sn1 sn1 vdd! pmos
+m1 sn0 sn2 sn1 vdd! pmos
+m2 sn3 vb0 sn4 gnd! nmos
+.ends
+m0 n0 n0 vdd! vdd! pmos
+m1 n1 n0 vdd! vdd! pmos
+m2 n0 n2 n3 gnd! nmos w=2u l=100n
+x0 n3 n1 cell0
+x1 n4 n5 cell0 m=2
+x2 n3 n6 cell0
+.end

@@ -1,0 +1,14 @@
+* fuzz deck seed=7
+.global vdd! gnd!
+.subckt cell0 sn0 sn1
+m0 gnd! sn0 sn1 gnd! nmos
+m1 sn0 sn2 sn0 gnd! nmos w=2u l=100n
+.ends
+m0 n0 n0 n1 vdd! pmos
+m1 n1 n1 vdd! vdd! pmos
+m2 n0 n0 n2 vdd! pmos
+m3 n2 n1 vdd! vdd! pmos
+x0 n0 n3 cell0
+x1 n3 n1 cell0 m=2
+x2 n1 n4 cell0
+.end

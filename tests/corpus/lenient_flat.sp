@@ -1,0 +1,13 @@
+* fuzz deck seed=1
+.global vdd! gnd!
+m0 n0 n0 vdd! vdd! pmos
+m1 n0 n0 vdd! vdd! pmos
+m2 n1 n0 vdd! vdd! pmos
+m3 n0 n0 vdd! vdd! pmos
+m4 n0 n0 vdd! vdd! pmos
+m5 n2 n2 gnd! gnd! nmos w=1u l=100n
+r0 n3 n1 1k
+l0 n0 n4 1n
+rnoval n904 n905
+xundef n902 n903 nosuchcell
+.end

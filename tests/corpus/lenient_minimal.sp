@@ -1,0 +1,9 @@
+* fuzz deck seed=3
+.global vdd! gnd!
+m0 n0 vb0 n1 gnd! nmos
+m1 n2 n3 gnd! gnd! nmos w=2u l=100n
+c0 n5 n6 100f
+c1 n1 n7 10p
+qbogus a b c npn
+xundef n902 n903 nosuchcell
+.end

@@ -15,6 +15,8 @@ from repro.datasets.perturb import (
 from repro.graph.bipartite import CircuitGraph
 from repro.spice.preprocess import preprocess
 
+pytestmark = pytest.mark.property
+
 
 @pytest.fixture()
 def clean():

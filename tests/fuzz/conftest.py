@@ -1,0 +1,29 @@
+"""Fixtures for the fuzz-harness tests.
+
+The pipeline-backed oracle context reuses the session-scoped
+quick-trained annotator from the root conftest, so the fuzz tests pay
+for model training exactly once (and share that payment with every
+other annotator-using test in the run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.generator import GeneratedDeck
+
+
+def as_deck(text: str, mode: str = "strict", seed: int = 0) -> GeneratedDeck:
+    """Wrap a hand-written deck so the oracles accept it."""
+    return GeneratedDeck(text=text, recipe={"seed": seed}, mode=mode)
+
+
+@pytest.fixture(scope="session")
+def oracle_ctx(quick_ota_annotator):
+    """An OracleContext whose pipeline wraps the session annotator."""
+    from repro.core.pipeline import GanaPipeline
+    from repro.testing.oracles import OracleContext
+
+    return OracleContext(
+        seed=0, _pipeline=GanaPipeline(annotator=quick_ota_annotator)
+    )

@@ -1,0 +1,104 @@
+"""The bounded fuzz loop and the ``python -m repro.fuzz`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fuzz
+from repro.testing.campaign import _CONFIG_CYCLE, run_campaign
+from repro.testing.oracles import ORACLES
+
+pytestmark = pytest.mark.fuzz
+
+MODEL_FREE = sorted(n for n, o in ORACLES.items() if not o.needs_pipeline)
+
+
+class TestRunCampaign:
+    def test_green_model_free_sweep(self):
+        # Six seeds walk the whole config cycle (flat, hier, include
+        # split, dirt) at least once.
+        assert len(_CONFIG_CYCLE) <= 6
+        report = run_campaign(
+            base_seed=0, iterations=6, oracle_names=MODEL_FREE
+        )
+        assert report.ok
+        assert report.iterations == 6
+        assert report.oracle_runs == 6 * len(MODEL_FREE)
+        assert report.per_oracle == {n: 6 for n in MODEL_FREE}
+        assert report.stopped_by == "iterations"
+        assert "all oracles green" in report.summary()
+
+    def test_time_budget_stops_the_loop(self):
+        report = run_campaign(
+            base_seed=0,
+            iterations=10_000,
+            time_budget=0.0,
+            oracle_names=["parse_modes"],
+        )
+        assert report.stopped_by == "time-budget"
+        assert report.iterations < 10_000
+
+    def test_unknown_oracle_name_raises(self):
+        with pytest.raises(ValueError, match="unknown oracles"):
+            run_campaign(oracle_names=["nosuch"])
+
+    def test_progress_log_is_called(self):
+        messages = []
+        run_campaign(
+            base_seed=0,
+            iterations=10,
+            oracle_names=["parse_modes"],
+            log=messages.append,
+        )
+        assert any("10/10 decks fuzzed" in m for m in messages)
+
+
+class TestCli:
+    def test_list_oracles(self, capsys):
+        assert fuzz.main(["--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        for name in ORACLES:
+            assert name in out
+        assert "[pipeline]" in out
+
+    def test_unknown_oracle_exits_two_with_clean_error(self, capsys):
+        assert fuzz.main(["--oracle", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "error: unknown oracle(s): nosuch" in err
+        assert "parse_modes" in err
+
+    def test_green_run_exits_zero(self, capsys):
+        code = fuzz.main(
+            [
+                "--seed", "0",
+                "--iterations", "4",
+                "--oracle", "parse_modes",
+                "--oracle", "elaboration",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all oracles green" in out
+        assert "parse_modes: 4 runs" in out
+
+    def test_divergence_exits_one_and_writes_corpus(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        from tests.fuzz.test_fault_injection import _install_fault
+
+        _install_fault(monkeypatch)
+        corpus = tmp_path / "ci-artifacts"
+        code = fuzz.main(
+            [
+                "--seed", "0",
+                "--iterations", "10",
+                "--oracle", "indexed_matching",
+                "--corpus-dir", str(corpus),
+                "--stop-on-first",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "DIVERGENCES" in capsys.readouterr().out
+        assert list(corpus.glob("*.sp"))

@@ -1,0 +1,91 @@
+"""Replay every committed corpus deck through the differential oracles.
+
+Each fuzz find (and each seeded coverage deck) lives in
+``tests/corpus/`` as ``<name>.sp`` plus a JSON sidecar naming the
+oracle(s) it must satisfy and the parse mode it requires.  This module
+turns the whole directory into ordinary pytest cases, so the corpus is
+a permanent regression net: a bug the fuzzer once caught can never
+silently return.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing.generator import GeneratedDeck, regenerate
+from repro.testing.oracles import ORACLES, OracleContext, run_oracle
+
+pytestmark = pytest.mark.fuzz
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+ENTRIES = tuple(sorted(CORPUS_DIR.glob("*.sp")))
+
+MODEL_FREE = sorted(n for n, o in ORACLES.items() if not o.needs_pipeline)
+PIPELINE = sorted(n for n, o in ORACLES.items() if o.needs_pipeline)
+
+
+def _load(path: Path) -> tuple[GeneratedDeck, dict]:
+    sidecar = json.loads(path.with_suffix(".json").read_text())
+    deck = GeneratedDeck(
+        text=path.read_text(),
+        recipe=sidecar.get("recipe") or {"seed": 0},
+        mode=sidecar.get("mode", "strict"),
+    )
+    return deck, sidecar
+
+
+def _entry_oracles(sidecar: dict) -> list[str]:
+    named = sidecar.get("oracle", "all")
+    return sorted(ORACLES) if named == "all" else [named]
+
+
+@pytest.fixture(params=ENTRIES, ids=lambda p: p.stem)
+def corpus_entry(request):
+    return _load(request.param)
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 10
+
+
+def test_every_deck_has_a_sidecar_and_vice_versa():
+    decks = {p.stem for p in ENTRIES}
+    sidecars = {p.stem for p in CORPUS_DIR.glob("*.json")}
+    assert decks == sidecars
+
+
+def test_sidecars_are_complete(corpus_entry):
+    _, sidecar = corpus_entry
+    assert sidecar["mode"] in ("strict", "lenient")
+    for name in _entry_oracles(sidecar):
+        assert name in ORACLES
+
+
+def test_recipes_regenerate_the_committed_deck(corpus_entry):
+    # The seeded coverage decks are unshrunk generator output, so their
+    # recipe must reproduce the committed bytes exactly.  (Shrunken
+    # fuzz finds would differ — their sidecar documents provenance, not
+    # identity — but every current entry is a full generated deck.)
+    deck, sidecar = corpus_entry
+    if not sidecar.get("recipe"):
+        pytest.skip("entry has no generation recipe")
+    assert regenerate(sidecar["recipe"]).text == deck.text
+
+
+@pytest.mark.parametrize("oracle_name", MODEL_FREE)
+def test_model_free_oracles(corpus_entry, oracle_name):
+    deck, sidecar = corpus_entry
+    if oracle_name not in _entry_oracles(sidecar):
+        pytest.skip("sidecar does not claim this oracle")
+    run_oracle(oracle_name, deck, OracleContext())
+
+
+@pytest.mark.parametrize("oracle_name", PIPELINE)
+def test_pipeline_oracles(corpus_entry, oracle_name, oracle_ctx):
+    deck, sidecar = corpus_entry
+    if oracle_name not in _entry_oracles(sidecar):
+        pytest.skip("sidecar does not claim this oracle")
+    run_oracle(oracle_name, deck, oracle_ctx)

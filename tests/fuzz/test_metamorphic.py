@@ -1,0 +1,195 @@
+"""Metamorphic transforms: each rewrite parses, its declared invariant
+holds at the parse/flatten level, and the rename maps are faithful.
+
+Annotation-level invariants (BYTE_IDENTICAL / UP_TO_RENAME through the
+trained pipeline) are exercised by the ``metamorphic`` oracle in the
+corpus replay; these tests stay model-free.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.spice.flatten import flatten
+from repro.spice.parser import parse_netlist
+from repro.testing.metamorphic import (
+    TRANSFORMS,
+    Invariant,
+    InvariantViolation,
+    TransformedDeck,
+    apply_transform,
+    check_invariant,
+)
+from tests.conftest import DIFF_OTA_DECK, HIERARCHICAL_DECK
+
+pytestmark = pytest.mark.fuzz
+
+#: A deck with a real m-factor, for the split transform.
+MFACTOR_DECK = """
+* m-factor deck
+.global vdd! gnd!
+.subckt inv in out
+mn out in gnd! gnd! nmos w=1u l=100n
+mp out in vdd! vdd! pmos w=2u l=100n
+.ends
+x0 a b inv m=3
+rload b gnd! 10k
+.end
+"""
+
+
+#: A deck whose first instance is a *leaf* cell without an m-factor —
+#: the only shape ``inline_first_instance`` rewrites.
+LEAF_DECK = """
+* leaf instance deck
+.global vdd! gnd!
+.subckt inv in out
+mn out in gnd! gnd! nmos w=1u l=100n
+mp out in vdd! vdd! pmos w=2u l=100n
+.ends
+x0 a b inv
+x1 b c inv
+rload c gnd! 10k
+.end
+"""
+
+
+def _flat_reprs(text: str) -> list[str]:
+    return [repr(d) for d in flatten(parse_netlist(text)).devices]
+
+
+def _first_non_noop(name: str, text: str):
+    """Probabilistic transforms can roll a no-op; scan rng seeds."""
+    for seed in range(20):
+        t = apply_transform(name, text, random.Random(seed))
+        if not t.noop:
+            return t
+    raise AssertionError(f"{name} was a no-op for 20 rng seeds")
+
+
+class TestRegistry:
+    def test_expected_transforms_registered(self):
+        assert set(TRANSFORMS) == {
+            "rename_devices",
+            "rename_nets",
+            "insert_unit_mfactor",
+            "permute_cards",
+            "split_mfactor",
+            "inline_first_instance",
+            "outline_tail_devices",
+        }
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    @pytest.mark.parametrize("deck", [DIFF_OTA_DECK, HIERARCHICAL_DECK, MFACTOR_DECK],
+                             ids=["diff_ota", "hierarchical", "mfactor"])
+    def test_output_parses_strict(self, name, deck):
+        t = apply_transform(name, deck, random.Random(name))
+        assert isinstance(t, TransformedDeck)
+        assert t.transform == name
+        if not t.noop:
+            assert flatten(parse_netlist(t.text)).devices
+
+
+class TestTransformSemantics:
+    def test_insert_unit_mfactor_is_noop_through_flatten(self):
+        t = _first_non_noop("insert_unit_mfactor", HIERARCHICAL_DECK)
+        assert t.invariant is Invariant.BYTE_IDENTICAL
+        assert " m=1" in t.text
+        assert _flat_reprs(t.text) == _flat_reprs(HIERARCHICAL_DECK)
+
+    def test_rename_devices_applies_uniform_suffix(self):
+        t = apply_transform("rename_devices", DIFF_OTA_DECK, random.Random(1))
+        assert t.invariant is Invariant.UP_TO_RENAME
+        suffixes = {new[len(old):] for old, new in t.device_map.items()}
+        assert len(suffixes) == 1
+        flat_names = {d.name for d in flatten(parse_netlist(t.text)).devices}
+        assert set(t.device_map.values()) <= flat_names
+
+    def test_rename_nets_never_touches_role_nets(self):
+        t = _first_non_noop("rename_nets", DIFF_OTA_DECK)
+        for old in t.net_map:
+            assert not old.endswith("!")
+            assert not old.startswith(("vin", "vout", "vb"))
+        renamed = flatten(parse_netlist(t.text)).nets
+        assert set(t.net_map.values()) <= set(renamed)
+
+    def test_permute_cards_preserves_structure(self):
+        t = apply_transform("permute_cards", DIFF_OTA_DECK, random.Random(3))
+        check_invariant(None, None, t, original_text=DIFF_OTA_DECK)
+        assert sorted(_flat_reprs(t.text)) == sorted(_flat_reprs(DIFF_OTA_DECK))
+
+    def test_split_mfactor_unrolls_copies(self):
+        t = apply_transform("split_mfactor", MFACTOR_DECK, random.Random(4))
+        assert not t.noop
+        assert t.invariant is Invariant.SAME_NETS
+        check_invariant(None, None, t, original_text=MFACTOR_DECK)
+        # m=3 instance of a 2-device cell: 2 shared copies -> 6 split
+        before = len(_flat_reprs(MFACTOR_DECK))
+        after = len(_flat_reprs(t.text))
+        assert after == before + 4
+
+    def test_inline_first_instance_keeps_structure(self):
+        t = apply_transform(
+            "inline_first_instance", LEAF_DECK, random.Random(5)
+        )
+        assert not t.noop
+        assert t.invariant is Invariant.SAME_STRUCTURE
+        assert t.device_map
+        check_invariant(None, None, t, original_text=LEAF_DECK)
+
+    def test_outline_tail_devices_keeps_structure(self):
+        t = apply_transform(
+            "outline_tail_devices", DIFF_OTA_DECK, random.Random(6)
+        )
+        assert not t.noop
+        assert t.invariant is Invariant.SAME_STRUCTURE
+        assert ".subckt" in t.text
+        check_invariant(None, None, t, original_text=DIFF_OTA_DECK)
+
+
+class TestNoops:
+    def test_split_mfactor_without_mfactors_is_noop(self):
+        t = apply_transform("split_mfactor", DIFF_OTA_DECK, random.Random(0))
+        assert t.noop
+        assert t.text == DIFF_OTA_DECK
+
+    def test_inline_on_flat_deck_is_noop(self):
+        t = apply_transform(
+            "inline_first_instance", DIFF_OTA_DECK, random.Random(0)
+        )
+        assert t.noop
+
+
+class TestCheckInvariantRejects:
+    def test_structure_change_is_caught(self):
+        # Drop a transistor but claim SAME_STRUCTURE: must be flagged.
+        lines = [
+            ln
+            for ln in DIFF_OTA_DECK.splitlines()
+            if not ln.startswith("m5")
+        ]
+        forged = TransformedDeck(
+            transform="forged",
+            text="\n".join(lines) + "\n",
+            invariant=Invariant.SAME_STRUCTURE,
+        )
+        with pytest.raises(InvariantViolation):
+            check_invariant(None, None, forged, original_text=DIFF_OTA_DECK)
+
+    def test_net_loss_is_caught(self):
+        lines = [
+            ln
+            for ln in HIERARCHICAL_DECK.splitlines()
+            if not ln.startswith("rload")
+        ]
+        forged = TransformedDeck(
+            transform="forged",
+            text="\n".join(lines) + "\n",
+            invariant=Invariant.SAME_NETS,
+        )
+        with pytest.raises(InvariantViolation):
+            check_invariant(
+                None, None, forged, original_text=HIERARCHICAL_DECK
+            )

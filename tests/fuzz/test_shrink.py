@@ -1,0 +1,112 @@
+"""The ddmin shrinker on synthetic predicates: 1-minimality, the
+DivergenceError-only repro rule, probe bounds, and corpus writing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.testing.oracles import DivergenceError
+from repro.testing.shrink import shrink_deck, write_corpus_entry
+
+pytestmark = pytest.mark.fuzz
+
+
+def _deck(n_filler: int, *special: str) -> str:
+    """``n_filler`` inert lines with the special lines interleaved."""
+    lines = [f"* filler {i}" for i in range(n_filler)]
+    step = max(1, len(lines) // (len(special) + 1))
+    for i, line in enumerate(special):
+        lines.insert((i + 1) * step, line)
+    return "\n".join(lines) + "\n"
+
+
+def _needs_all(*required: str):
+    def predicate(text: str) -> None:
+        present = set(text.splitlines())
+        if all(r in present for r in required):
+            raise DivergenceError("synthetic", "all trigger lines present")
+
+    return predicate
+
+
+class TestDdmin:
+    def test_minimizes_to_exactly_the_trigger_lines(self):
+        text = _deck(20, "m1 a b c d nmos", "rload b gnd! 1k")
+        result = shrink_deck(
+            text, _needs_all("m1 a b c d nmos", "rload b gnd! 1k")
+        )
+        assert result.text.splitlines() == [
+            "m1 a b c d nmos",
+            "rload b gnd! 1k",
+        ]
+        assert result.original_lines == 22
+        assert result.shrunk_lines == 2
+        assert result.probes > 0
+        assert result.trace
+        assert result.reduction == pytest.approx(1 - 2 / 22)
+
+    def test_single_trigger_line(self):
+        text = _deck(15, "the bug")
+        result = shrink_deck(text, _needs_all("the bug"))
+        assert result.text == "the bug\n"
+
+    def test_preserves_original_line_order(self):
+        text = _deck(10, "alpha", "beta", "gamma")
+        result = shrink_deck(text, _needs_all("gamma", "alpha", "beta"))
+        assert result.text.splitlines() == ["alpha", "beta", "gamma"]
+
+    def test_non_failing_input_raises(self):
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_deck(_deck(5), _needs_all("never present"))
+
+    def test_other_exceptions_are_not_repros(self):
+        # Candidates missing the guard line *crash*; crashes must not
+        # count as still-failing, so the guard survives shrinking.
+        def predicate(text: str) -> None:
+            lines = set(text.splitlines())
+            if "guard" not in lines:
+                raise RuntimeError("malformed candidate")
+            if "bug" in lines:
+                raise DivergenceError("synthetic", "bug with guard")
+
+        result = shrink_deck(_deck(12, "guard", "bug"), predicate)
+        assert sorted(result.text.splitlines()) == ["bug", "guard"]
+
+    def test_probe_budget_is_respected(self):
+        text = _deck(40, "needle")
+        result = shrink_deck(text, _needs_all("needle"), max_probes=5)
+        assert result.probes <= 5
+        # Whatever came back must still reproduce the divergence.
+        with pytest.raises(DivergenceError):
+            _needs_all("needle")(result.text)
+
+
+class TestCorpusWriter:
+    def test_writes_deck_and_sidecar(self, tmp_path):
+        path = write_corpus_entry(
+            tmp_path / "corpus",
+            "repro1",
+            "m0 a b c d nmos\n",
+            oracle="indexed_matching",
+            mode="strict",
+            detail="template DP-N: 1 vs 2 matches",
+            recipe={"seed": 42, "version": 1},
+        )
+        assert path.read_text() == "m0 a b c d nmos\n"
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar == {
+            "oracle": "indexed_matching",
+            "mode": "strict",
+            "detail": "template DP-N: 1 vs 2 matches",
+            "recipe": {"seed": 42, "version": 1},
+        }
+
+    def test_recipe_is_optional(self, tmp_path):
+        path = write_corpus_entry(
+            tmp_path, "norecipe", "x\n", oracle="parse_modes"
+        )
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar["recipe"] is None
+        assert sidecar["mode"] == "strict"

@@ -18,6 +18,8 @@ from repro.graph.laplacian import (
     rescaled_laplacian,
 )
 
+pytestmark = pytest.mark.property
+
 
 def _ring(n: int) -> sp.csr_matrix:
     rows = list(range(n)) * 2

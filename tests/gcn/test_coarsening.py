@@ -13,6 +13,8 @@ from repro.gcn.coarsening import (
 )
 from repro.utils.rng import seeded_rng
 
+pytestmark = pytest.mark.property
+
 
 def _ring(n: int) -> sp.csr_matrix:
     rows = list(range(n)) * 2

@@ -16,6 +16,8 @@ from repro.gcn.layers import ChebConv, SampleContext
 from repro.graph.laplacian import normalized_laplacian, rescaled_laplacian
 from repro.utils.rng import seeded_rng
 
+pytestmark = pytest.mark.property
+
 
 def _random_graph(seed: int, n: int) -> sp.csr_matrix:
     rng = np.random.default_rng(seed)

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.gcn.loss import cross_entropy, l2_penalty, softmax
 
+pytestmark = pytest.mark.property
+
 
 class TestSoftmax:
     def test_rows_sum_to_one(self):

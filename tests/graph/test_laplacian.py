@@ -14,6 +14,8 @@ from repro.graph.laplacian import (
     rescaled_laplacian,
 )
 
+pytestmark = pytest.mark.property
+
 
 def _path_graph(n: int) -> sp.csr_matrix:
     rows = list(range(n - 1)) + list(range(1, n))

@@ -6,6 +6,7 @@ that must hold for *every* generated circuit.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -29,6 +30,8 @@ from repro.spice.flatten import flatten
 from repro.spice.parser import parse_netlist
 from repro.spice.preprocess import preprocess
 from repro.spice.writer import write_circuit
+
+pytestmark = pytest.mark.property
 
 LIB = extended_library()
 

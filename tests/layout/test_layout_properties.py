@@ -5,6 +5,7 @@ legally: no overlaps, exact symmetry, every device covered.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,6 +15,8 @@ from repro.layout.anneal import AnnealConfig, anneal_placement
 from repro.layout.placer import place_hierarchy
 from repro.layout.wirelength import total_wirelength
 from repro.spice.netlist import Circuit, DeviceKind, make_mos, make_passive
+
+pytestmark = pytest.mark.property
 
 
 @st.composite

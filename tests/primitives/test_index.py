@@ -13,12 +13,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets.systems import (
-    phased_array,
-    sample_and_hold,
-    switched_cap_filter,
-)
-from repro.graph.bipartite import CircuitGraph
 from repro.graph.ccc import channel_connected_components
 from repro.primitives.index import (
     TargetContext,
@@ -31,45 +25,16 @@ from repro.primitives.matcher import (
     annotate_primitives,
     find_primitive_matches,
 )
-from repro.spice.flatten import flatten
-from repro.spice.parser import parse_netlist
-from tests.conftest import (
-    CURRENT_MIRROR_DECK,
-    DIFF_OTA_DECK,
-    HIERARCHICAL_DECK,
-)
+from tests.conftest import CANONICAL_GRAPH_NAMES, build_canonical_graphs
 
 LIBRARY = default_library()
 
-
-def _graph_cases() -> dict[str, CircuitGraph]:
-    cases = {
-        "diff_ota": CircuitGraph.from_circuit(
-            flatten(parse_netlist(DIFF_OTA_DECK))
-        ),
-        "current_mirror": CircuitGraph.from_circuit(
-            flatten(parse_netlist(CURRENT_MIRROR_DECK))
-        ),
-        "hierarchical": CircuitGraph.from_circuit(
-            flatten(parse_netlist(HIERARCHICAL_DECK))
-        ),
-        "switched_cap_filter": CircuitGraph.from_circuit(
-            switched_cap_filter().circuit
-        ),
-        "sample_and_hold": CircuitGraph.from_circuit(
-            sample_and_hold().circuit
-        ),
-        "phased_array_2ch": CircuitGraph.from_circuit(
-            phased_array(n_channels=2).circuit
-        ),
-    }
-    return cases
+# The shared canonical menagerie (tests/conftest.py) — built once at
+# module import; the session fixture is not usable at collect time.
+GRAPHS = build_canonical_graphs()
 
 
-GRAPHS = _graph_cases()
-
-
-@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("graph_name", sorted(CANONICAL_GRAPH_NAMES))
 class TestIndexedEqualsNaive:
     def test_every_template_matches_identically(self, graph_name):
         graph = GRAPHS[graph_name]

@@ -17,6 +17,8 @@ from repro.spice.flatten import flatten
 from repro.spice.parser import parse_netlist
 from tests.conftest import CURRENT_MIRROR_DECK, DIFF_OTA_DECK
 
+pytestmark = pytest.mark.property
+
 
 def _graph(deck: str) -> CircuitGraph:
     return CircuitGraph.from_circuit(flatten(parse_netlist(deck)))

@@ -147,6 +147,7 @@ class TestDivergenceRollback:
             )
 
 
+@pytest.mark.slow
 class TestSigkillResume:
     def test_sigkill_mid_epoch_then_resume_is_bitwise(self, split, tmp_path):
         tr, val = split

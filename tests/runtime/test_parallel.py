@@ -257,6 +257,7 @@ class TestPoolSupervision:
         shutdown_pools()  # must neither raise nor hang on the corpse
         assert not parallel._POOLS
 
+    @pytest.mark.slow
     def test_waiting_shutdown_is_bounded_for_wedged_worker(self):
         # A worker that is alive but never drains (here: stuck in a
         # long sleep) must not hang the waiting shutdown forever; the

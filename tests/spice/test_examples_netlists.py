@@ -9,41 +9,33 @@ sidecar is requested.
 
 from __future__ import annotations
 
-from pathlib import Path
-
-import pytest
-
 from repro.spice.flatten import flatten, flatten_hierarchical
 from repro.spice.parser import parse_netlist
-
-EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "netlists"
-DECKS = sorted(EXAMPLES.glob("*.sp"))
+from tests.conftest import EXAMPLE_DECK_PATHS
 
 
 def test_examples_directory_is_populated():
-    assert len(DECKS) >= 5
+    assert len(EXAMPLE_DECK_PATHS) >= 5
 
 
-@pytest.mark.parametrize("deck", DECKS, ids=lambda p: p.stem)
 class TestExampleSweep:
-    def test_strict_parse(self, deck):
-        netlist = parse_netlist(deck.read_text())
+    def test_parses_in_every_mode(self, example_deck_path, parse_mode):
+        # deck × mode product from the shared conftest fixtures
+        netlist = parse_netlist(example_deck_path.read_text(), mode=parse_mode)
         assert netlist.top is not None
+        if parse_mode == "lenient":
+            assert not netlist.diagnostics
 
-    def test_lenient_parse_is_clean(self, deck):
-        netlist = parse_netlist(deck.read_text(), mode="lenient")
-        assert not netlist.diagnostics
-
-    def test_both_parse_modes_agree(self, deck):
-        text = deck.read_text()
+    def test_both_parse_modes_agree(self, example_deck_path):
+        text = example_deck_path.read_text()
         strict = flatten(parse_netlist(text))
         lenient = flatten(parse_netlist(text, mode="lenient"))
         assert [repr(d) for d in strict.devices] == [
             repr(d) for d in lenient.devices
         ]
 
-    def test_both_elaboration_modes_agree(self, deck):
-        netlist = parse_netlist(deck.read_text())
+    def test_both_elaboration_modes_agree(self, example_deck_path):
+        netlist = parse_netlist(example_deck_path.read_text())
         plain = flatten(netlist)
         sided, tree = flatten_hierarchical(netlist)
         assert [repr(d) for d in sided.devices] == [

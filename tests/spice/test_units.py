@@ -13,6 +13,8 @@ from repro.spice.units import (
     parse_spice_number,
 )
 
+pytestmark = pytest.mark.property
+
 
 class TestParse:
     @pytest.mark.parametrize(

@@ -16,6 +16,8 @@ from repro.spice.parser import parse_netlist
 from repro.spice.writer import write_circuit, write_netlist
 from tests.conftest import DIFF_OTA_DECK, HIERARCHICAL_DECK
 
+pytestmark = pytest.mark.property
+
 
 def _roundtrip(netlist: Netlist) -> Netlist:
     return parse_netlist(write_netlist(netlist))
